@@ -1,0 +1,168 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. The reproduction tables — one per paper table/figure/theorem claim
+      (experiment ids E1..E16, see DESIGN.md section 4 and EXPERIMENTS.md).
+      These print the same rows/series the paper reports.
+
+   2. Bechamel microbenchmarks of the core operations (route, publish,
+      locate, insert, multicast, Chord lookup) on a prebuilt network.
+
+   Run `dune exec bench/main.exe` for the quick profile (CI-sized);
+   `dune exec bench/main.exe -- --full` for paper-scale runs;
+   `dune exec bench/main.exe -- --only table1,stretch` to select tables;
+   `--no-micro` / `--no-tables` skip one half. *)
+
+open Tapestry
+
+let usage = "main.exe [--full] [--seed N] [--only a,b,c] [--no-micro] [--no-tables]"
+
+type options = {
+  mutable mode : Evaluation.Experiment.mode;
+  mutable seed : int;
+  mutable only : string list;
+  mutable micro : bool;
+  mutable tables : bool;
+}
+
+let parse_args () =
+  let o =
+    {
+      mode = Evaluation.Experiment.Quick;
+      seed = 42;
+      only = [];
+      micro = true;
+      tables = true;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        o.mode <- Evaluation.Experiment.Full;
+        go rest
+    | "--seed" :: v :: rest ->
+        o.seed <- int_of_string v;
+        go rest
+    | "--only" :: v :: rest ->
+        o.only <- String.split_on_char ',' v;
+        go rest
+    | "--no-micro" :: rest ->
+        o.micro <- false;
+        go rest
+    | "--no-tables" :: rest ->
+        o.tables <- false;
+        go rest
+    | "--help" :: _ ->
+        Printf.printf "usage: %s\nexperiments: %s\n" usage
+          (String.concat ", " Evaluation.Experiment.names);
+        exit 0
+    | other :: _ ->
+        Printf.eprintf "unknown argument %s\nusage: %s\n" other usage;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+(* --- Bechamel microbenchmarks --- *)
+
+let micro_tests seed =
+  let open Bechamel in
+  let n = 256 in
+  let rng = Simnet.Rng.create seed in
+  let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
+  let addrs = List.init n (fun i -> i) in
+  let net, _ = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs in
+  let cfg = net.Network.config in
+  let guids =
+    Array.init 64 (fun _ ->
+        let server = Network.random_alive net in
+        let guid =
+          Node_id.random ~base:cfg.Config.base ~len:cfg.Config.id_digits
+            net.Network.rng
+        in
+        ignore (Publish.publish net ~server guid);
+        guid)
+  in
+  let i = ref 0 in
+  let next_guid () =
+    incr i;
+    guids.(!i mod Array.length guids)
+  in
+  let route_test =
+    Test.make ~name:"route_to_root (n=256)"
+      (Staged.stage (fun () ->
+           let from = Network.random_alive net in
+           ignore (Route.route_to_root net ~from (next_guid ()))))
+  in
+  let locate_test =
+    Test.make ~name:"locate (n=256)"
+      (Staged.stage (fun () ->
+           let client = Network.random_alive net in
+           ignore (Locate.locate net ~client (next_guid ()))))
+  in
+  let publish_test =
+    Test.make ~name:"republish (n=256)"
+      (Staged.stage (fun () ->
+           let server = Network.random_alive net in
+           ignore (Publish.republish net ~server (next_guid ()))))
+  in
+  let multicast_test =
+    Test.make ~name:"multicast len-1 prefix (n=256)"
+      (Staged.stage (fun () ->
+           let anchor = Network.random_alive net in
+           let prefix = Node_id.digits anchor.Node.id in
+           ignore (Multicast.run net ~start:anchor ~prefix ~len:1 ~apply:ignore)))
+  in
+  (* insert+delete cycle on a side network so [net] stays stable *)
+  let net2, _ =
+    Insert.build_incremental ~seed:(seed + 7) Config.default metric
+      ~addrs:(List.init 128 (fun i -> i))
+  in
+  let insert_test =
+    Test.make ~name:"insert+voluntary_delete (n=128)"
+      (Staged.stage (fun () ->
+           let gw = Network.random_alive net2 in
+           let r = Insert.insert net2 ~gateway:gw ~addr:200 in
+           ignore (Delete.voluntary net2 r.Insert.node)))
+  in
+  let ch = Baselines.Chord.create ~seed:(seed + 3) ~m:24 ~succ_list:4 metric in
+  ignore (Baselines.Chord.bootstrap ch ~addr:0);
+  for addr = 1 to n - 1 do
+    ignore (Baselines.Chord.join ch ~gateway:(Baselines.Chord.random_node ch) ~addr)
+  done;
+  Baselines.Chord.stabilize_all ch ~rounds:2;
+  let chord_test =
+    Test.make ~name:"chord lookup (n=256)"
+      (Staged.stage (fun () ->
+           let from = Baselines.Chord.random_node ch in
+           ignore (Baselines.Chord.lookup ch ~from (!i * 7919 land 0xFFFFFF))))
+  in
+  [ route_test; locate_test; publish_test; multicast_test; insert_test; chord_test ]
+
+let run_micro seed =
+  let open Bechamel in
+  let tests = micro_tests seed in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  print_endline "== B1: Bechamel microbenchmarks (ns/op, OLS on monotonic clock) ==";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance raw in
+          let ns =
+            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+          in
+          Printf.printf "  %-34s %12.0f ns/op\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    tests
+
+let () =
+  let o = parse_args () in
+  if o.tables then Evaluation.Experiment.run_and_print ~seed:o.seed o.mode o.only;
+  if o.micro then run_micro o.seed

@@ -1,0 +1,174 @@
+(* Command-line driver for the Tapestry reproduction: run experiments, build
+   networks and inspect them, or trace a single publish/locate. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "quick" -> Ok Evaluation.Experiment.Quick
+    | "full" -> Ok Evaluation.Experiment.Full
+    | s -> Error (`Msg ("unknown mode: " ^ s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Evaluation.Experiment.Quick -> "quick" | Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Evaluation.Experiment.Quick
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Experiment scale: quick or full.")
+
+(* --- exp --- *)
+
+let exp_cmd =
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            ("Experiments to run (default all). Known: "
+            ^ String.concat ", " Evaluation.Experiment.names))
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into DIR.")
+  in
+  let run seed mode csv names =
+    try
+      (match csv with
+      | None -> Evaluation.Experiment.run_and_print ~seed mode names
+      | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let names = if names = [] then Evaluation.Experiment.names else names in
+          List.iter
+            (fun name ->
+              let ts = Evaluation.Experiment.by_name ~seed mode name in
+              List.iteri
+                (fun i t ->
+                  Simnet.Stats.Table.print t;
+                  let file =
+                    Filename.concat dir
+                      (if i = 0 then name ^ ".csv"
+                       else Printf.sprintf "%s_%d.csv" name i)
+                  in
+                  let oc = open_out file in
+                  output_string oc (Simnet.Stats.Table.to_csv t);
+                  close_out oc;
+                  Printf.printf "wrote %s\n" file)
+                ts)
+            names);
+      Ok ()
+    with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Run reproduction experiments and print their tables.")
+    Term.(term_result (const run $ seed_arg $ mode_arg $ csv_arg $ names))
+
+(* --- build --- *)
+
+let topology_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun k -> Simnet.Topology.kind_name k = s)
+        Simnet.Topology.all_kinds
+    with
+    | Some k -> Ok k
+    | None -> Error (`Msg ("unknown topology: " ^ s))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Simnet.Topology.kind_name k))
+
+let build_cmd =
+  let n_arg =
+    Arg.(value & opt int 256 & info [ "n"; "size" ] ~docv:"N" ~doc:"Number of nodes.")
+  in
+  let topo_arg =
+    Arg.(
+      value
+      & opt topology_conv Simnet.Topology.Uniform_square
+      & info [ "topology" ] ~docv:"KIND"
+          ~doc:"Topology kind (uniform-square, uniform-torus, grid, ring, clustered, star, random-metric).")
+  in
+  let run seed n kind =
+    let open Tapestry in
+    let rng = Simnet.Rng.create seed in
+    let metric = Simnet.Topology.generate kind ~n ~rng in
+    let addrs = List.init n (fun i -> i) in
+    let t0 = Sys.time () in
+    let net, reports = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs in
+    let dt = Sys.time () -. t0 in
+    Printf.printf "built %d nodes on %s in %.2fs (cpu)\n" n (Simnet.Topology.kind_name kind) dt;
+    let msgs =
+      List.map (fun (r : Insert.report) -> float_of_int r.Insert.cost.Simnet.Cost.messages) reports
+    in
+    Format.printf "insert messages: %a@." Simnet.Stats.pp_summary (Simnet.Stats.summarize msgs);
+    let space =
+      Network.alive_nodes net
+      |> List.map (fun (nd : Node.t) -> float_of_int (Routing_table.entry_count nd.Node.table))
+    in
+    Format.printf "table entries/node: %a@." Simnet.Stats.pp_summary (Simnet.Stats.summarize space);
+    let v1 = Network.check_property1 net in
+    Printf.printf "property 1 violations: %d\n" (List.length v1);
+    let total = ref 0 and optimal = ref 0 in
+    Network.check_property2 net ~total ~optimal;
+    Printf.printf "property 2 optimal primaries: %d/%d\n" !optimal !total;
+    let rng2 = Simnet.Rng.create (seed + 2) in
+    Printf.printf "expansion constant (est.): %.2f\n"
+      (Simnet.Metric.expansion_estimate metric ~samples:200 ~rng:rng2)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build a network incrementally and report its health.")
+    Term.(const run $ seed_arg $ n_arg $ topo_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let n_arg = Arg.(value & opt int 128 & info [ "n"; "size" ] ~docv:"N" ~doc:"Network size.") in
+  let run seed n =
+    let open Tapestry in
+    let rng = Simnet.Rng.create seed in
+    let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
+    let addrs = List.init n (fun i -> i) in
+    let net, _ = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs in
+    let cfg = net.Network.config in
+    let server = Network.random_alive net in
+    let guid = Node_id.random ~base:cfg.Config.base ~len:cfg.Config.id_digits net.Network.rng in
+    let outcome = Publish.publish net ~server guid in
+    Printf.printf "object %s published by %s; root %s (path %d hops)\n"
+      (Node_id.to_string guid)
+      (Node_id.to_string server.Node.id)
+      (Node_id.to_string (List.hd outcome.Publish.roots).Node.id)
+      (List.hd outcome.Publish.path_lengths);
+    let client = Network.random_alive net in
+    let res, cost = Network.measure net (fun () -> Locate.locate net ~client guid) in
+    (match res.Locate.server with
+    | Some s ->
+        Printf.printf "client %s located replica at %s\n"
+          (Node_id.to_string client.Node.id) (Node_id.to_string s.Node.id);
+        Printf.printf "walk: %s\n"
+          (String.concat " -> "
+             (List.map (fun (h : Node.t) -> Node_id.to_string h.Node.id) res.Locate.walk));
+        Printf.printf "cost: %d msgs, %d hops, %.4f latency (optimal %.4f)\n"
+          cost.Simnet.Cost.messages cost.Simnet.Cost.hops cost.Simnet.Cost.latency
+          (Network.dist net client server)
+    | None -> Printf.printf "object not found\n")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Publish one object and trace a locate for it.")
+    Term.(const run $ seed_arg $ n_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "tapestry_sim" ~version:"1.0.0"
+       ~doc:"Reproduction of 'Distributed Object Location in a Dynamic Network'.")
+    [ exp_cmd; build_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

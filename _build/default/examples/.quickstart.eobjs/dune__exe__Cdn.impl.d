@@ -1,0 +1,1 @@
+examples/cdn.ml: Config Format Insert List Locality Locate Network Node Node_id Printf Simnet Tapestry

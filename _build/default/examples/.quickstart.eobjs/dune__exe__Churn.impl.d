@@ -1,0 +1,1 @@
+examples/churn.ml: Config Delete Evaluation Insert List Locate Maintenance Network Node Node_id Printf Simnet Tapestry

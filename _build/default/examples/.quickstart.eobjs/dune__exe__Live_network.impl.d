@@ -1,0 +1,1 @@
+examples/live_network.ml: Async_ops Config Delete Insert List Locate Network Node Node_id Printf Simnet Tapestry

@@ -1,0 +1,1 @@
+examples/nearest_neighbor_demo.ml: Config Format Insert List Nearest_neighbor Network Node Node_id Printf Simnet Tapestry

@@ -1,0 +1,1 @@
+examples/nearest_neighbor_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Delete Insert List Locate Network Node Node_id Printf Publish Simnet Tapestry Verify

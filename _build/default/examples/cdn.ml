@@ -1,0 +1,65 @@
+(* Content delivery over a transit-stub internet (Section 6.3).
+
+   A site's pages are replicated into a few stub networks ("edge caches").
+   Locality-aware Tapestry keeps a request inside the client's stub whenever
+   a cache is present there, so intra-stub requests never pay transit-link
+   latency; the same workload on plain wide-area Tapestry escapes the stub
+   on most requests.
+
+   Run with: dune exec examples/cdn.exe *)
+
+open Tapestry
+
+let () =
+  let seed = 5 in
+  let rng = Simnet.Rng.create seed in
+  let params =
+    { Simnet.Transit_stub.default_params with stubs_per_transit = 3; stub_size = 8 }
+  in
+  let ts = Simnet.Transit_stub.generate params ~rng in
+  let metric = Simnet.Transit_stub.metric ts in
+  let hosts = Simnet.Transit_stub.hosts ts in
+  let net, _ = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs:hosts in
+  let same_stub = Simnet.Transit_stub.same_stub ts in
+  Printf.printf "internet: %d hosts in %d stub networks (intra %.0fms, transit %.0fms)\n\n"
+    (List.length hosts)
+    (Simnet.Transit_stub.stub_count ts)
+    params.Simnet.Transit_stub.intra_stub_latency
+    params.Simnet.Transit_stub.transit_latency;
+
+  (* One "page" cached at 5 random edge hosts, published locality-aware. *)
+  let cfg = net.Network.config in
+  let page = Node_id.random ~base:cfg.Config.base ~len:cfg.Config.id_digits net.Network.rng in
+  let caches = List.init 5 (fun _ -> Network.random_alive net) in
+  List.iter (fun server -> Locality.publish net ~same_stub ~server page) caches;
+  Printf.printf "page %s cached at %d edge hosts\n\n" (Node_id.to_string page)
+    (List.length caches);
+
+  (* Requests from clients that share a stub with some cache. *)
+  let clients_with_local_cache =
+    Network.alive_nodes net
+    |> List.filter (fun (c : Node.t) ->
+           List.exists
+             (fun (s : Node.t) ->
+               same_stub c.Node.addr s.Node.addr && not (Node_id.equal c.Node.id s.Node.id))
+             caches)
+  in
+  let lat_plain = ref [] and lat_local = ref [] in
+  List.iter
+    (fun client ->
+      let _, c1 = Network.measure net (fun () -> Locate.locate net ~client page) in
+      let _, c2 =
+        Network.measure net (fun () -> Locality.locate net ~same_stub ~client page)
+      in
+      lat_plain := c1.Simnet.Cost.latency :: !lat_plain;
+      lat_local := c2.Simnet.Cost.latency :: !lat_local)
+    clients_with_local_cache;
+  let p = Simnet.Stats.summarize !lat_plain in
+  let l = Simnet.Stats.summarize !lat_local in
+  Printf.printf "%d requests from clients with an in-stub cache:\n"
+    (List.length clients_with_local_cache);
+  Format.printf "  wide-area Tapestry : %a@." Simnet.Stats.pp_summary p;
+  Format.printf "  locality-enhanced  : %a@." Simnet.Stats.pp_summary l;
+  if l.Simnet.Stats.mean > 0. then
+    Printf.printf "  speedup: %.1fx mean latency\n"
+      (p.Simnet.Stats.mean /. l.Simnet.Stats.mean)

@@ -1,0 +1,1 @@
+lib/baselines/broadcast.ml: Hashtbl List Option Simnet

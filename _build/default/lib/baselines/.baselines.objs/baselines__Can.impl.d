@@ -1,0 +1,1 @@
+lib/baselines/can.ml: Array Hashtbl List Option Simnet

@@ -1,0 +1,1 @@
+lib/baselines/can.mli: Simnet

@@ -1,0 +1,1 @@
+lib/baselines/central_directory.ml: Hashtbl List Option Simnet

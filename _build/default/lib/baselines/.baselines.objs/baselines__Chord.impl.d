@@ -1,0 +1,1 @@
+lib/baselines/chord.ml: Array Hashtbl List Option Simnet

@@ -1,0 +1,1 @@
+lib/baselines/karger_ruhl.mli: Simnet

@@ -1,0 +1,1 @@
+lib/baselines/pastry.ml: Array Hashtbl List Option Simnet Tapestry

@@ -1,0 +1,1 @@
+lib/baselines/pastry.mli: Simnet Tapestry

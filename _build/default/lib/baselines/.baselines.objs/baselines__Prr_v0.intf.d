@@ -1,0 +1,1 @@
+lib/baselines/prr_v0.mli: Simnet

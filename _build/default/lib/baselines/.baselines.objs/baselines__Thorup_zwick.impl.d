@@ -1,0 +1,1 @@
+lib/baselines/thorup_zwick.ml: Array Hashtbl List Option Simnet

@@ -1,0 +1,1 @@
+lib/baselines/thorup_zwick.mli: Simnet

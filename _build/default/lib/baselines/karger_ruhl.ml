@@ -1,0 +1,132 @@
+type t = {
+  metric : Simnet.Metric.t;
+  n : int;
+  levels : int;
+  samples : int array array array; (* samples.(v).(i) = point sample of v's 2^i-ball *)
+  sample_size : int;
+}
+
+let build ?(seed = 42) ?sample_size metric =
+  let n = Simnet.Metric.size metric in
+  if n < 2 then invalid_arg "Karger_ruhl.build: need at least 2 points";
+  let rng = Simnet.Rng.create seed in
+  let levels = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+  let sample_size =
+    match sample_size with Some s -> s | None -> 3 * levels
+  in
+  (* For each node: order all others by distance; level i's ball is the
+     2^i closest; store a uniform sample of it. *)
+  let samples =
+    Array.init n (fun v ->
+        let others =
+          Array.init n (fun u -> (Simnet.Metric.dist metric v u, u))
+        in
+        Array.sort compare others;
+        Array.init (levels + 1) (fun i ->
+            let ball = min n (1 lsl i) in
+            if ball <= sample_size then
+              (* small balls are stored exactly (KR keep their smallest
+                 scales complete) *)
+              Array.init ball (fun j -> snd others.(j))
+            else Array.init sample_size (fun _ -> snd others.(Simnet.Rng.int rng ball))))
+  in
+  { metric; n; levels; samples; sample_size }
+
+let space_per_node t =
+  let total =
+    Array.fold_left
+      (fun acc per_node ->
+        acc + Array.fold_left (fun a s -> a + Array.length s) 0 per_node)
+      0 t.samples
+  in
+  float_of_int total /. float_of_int t.n
+
+type answer = { nearest : int; hops : int; messages : int; distance : float }
+
+let query t ~start ~target =
+  let dist = Simnet.Metric.dist t.metric in
+  (* level whose ball around v is big enough to contain B_v(3 d(v,target));
+     estimated by scanning the sample radii, as a distributed node would *)
+  let level_for v r =
+    let rec go i =
+      if i >= t.levels then t.levels
+      else begin
+        let sample = t.samples.(v).(i) in
+        let radius =
+          Array.fold_left (fun m u -> max m (dist v u)) 0. sample
+        in
+        if radius >= 3. *. r && Array.length sample > 0 then min t.levels (i + 1)
+        else go (i + 1)
+      end
+    in
+    go 0
+  in
+  let rec halve v best best_d hops messages traveled stuck =
+    let r = dist v target in
+    let best, best_d = if r < best_d && v <> target then (v, r) else (best, best_d) in
+    if stuck >= 3 || best_d = 0. then begin
+      (* final refinement: the best node's neighborhood sample covering a
+         3 best_d ball contains the true nearest neighbor w.h.p. *)
+      let lvl = level_for best best_d in
+      let messages = ref messages in
+      let traveled = ref traveled in
+      let final = ref best in
+      for i = 0 to lvl do
+        let sample = t.samples.(best).(i) in
+        messages := !messages + (2 * Array.length sample);
+        Array.iter
+          (fun u ->
+            traveled := !traveled +. (2. *. (dist best u +. dist u target));
+            if u <> target && dist u target < dist !final target then final := u)
+          sample
+      done;
+      { nearest = !final; hops; messages = !messages; distance = !traveled }
+    end
+    else begin
+      let lvl = level_for v r in
+      let sample = t.samples.(v).(lvl) in
+      let messages = messages + (2 * Array.length sample) in
+      (* each probe is a round trip that must also measure the sampled
+         node's distance to the target *)
+      let traveled =
+        Array.fold_left
+          (fun acc u -> acc +. (2. *. (dist v u +. dist u target)))
+          traveled sample
+      in
+      (* pick the sampled node closest to the target, excluding target *)
+      let cand =
+        Array.fold_left
+          (fun acc u ->
+            if u = target then acc
+            else
+              match acc with
+              | Some c when dist c target <= dist u target -> acc
+              | _ -> Some u)
+          None sample
+      in
+      match cand with
+      | Some u when dist u target < best_d ->
+          (* genuine progress past the best node seen so far *)
+          halve u best best_d (hops + 1) messages (traveled +. dist v u) 0
+      | Some u when u <> v ->
+          (* no improvement this round; allow one more attempt from u *)
+          halve u best best_d (hops + 1) messages (traveled +. dist v u) (stuck + 1)
+      | _ -> { nearest = best; hops; messages; distance = traveled }
+    end
+  in
+  if start = target then
+    (* enter from the target itself: sample its smallest levels directly *)
+    let sample = t.samples.(target).(1) in
+    let best =
+      Array.fold_left
+        (fun acc u ->
+          if u = target then acc
+          else
+            match acc with
+            | Some c when dist c target <= dist u target -> acc
+            | _ -> Some u)
+        None sample
+    in
+    let b = match best with Some u -> u | None -> (target + 1) mod t.n in
+    { nearest = b; hops = 0; messages = 2 * Array.length sample; distance = 0. }
+  else halve start start (dist start target) 0 0 0. 0

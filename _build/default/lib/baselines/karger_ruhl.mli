@@ -1,0 +1,37 @@
+(** Karger-Ruhl-style nearest-neighbor search (STOC 2002), the approach the
+    paper's Section 3 compares its own algorithm against.
+
+    Idealized reconstruction of their sampling scheme for growth-restricted
+    metrics: every node stores, for each scale level i, a uniform sample of
+    the nodes inside its 2^i-ball ("finger lists", here built by an oracle —
+    maintaining them dynamically is precisely what KR's permutation
+    machinery does).  A query repeatedly halves its distance to the target
+    by sampling from the smallest ball that safely contains the target's
+    neighborhood.
+
+    The comparison the paper makes (Section 3, "Techniques"): both schemes
+    take O(log n) halving hops, but KR's hops sample from balls around the
+    {e current} node — jumps of geometrically shrinking but initially large
+    diameter — while the paper's level-list descent pays geometrically
+    decreasing distances tied to prefix levels, and reuses the object
+    -location data structure (no extra space).  E13 measures exactly those
+    three columns: hops, network distance, space. *)
+
+type t
+
+val build : ?seed:int -> ?sample_size:int -> Simnet.Metric.t -> t
+(** [sample_size] per (node, level); default 3 ceil(log2 n). *)
+
+val space_per_node : t -> float
+(** Stored finger entries per node — O(log^2 n). *)
+
+type answer = {
+  nearest : int;  (** point index of the reported nearest neighbor *)
+  hops : int;  (** nodes visited *)
+  messages : int;  (** samples probed *)
+  distance : float;  (** network distance traveled by the query *)
+}
+
+val query : t -> start:int -> target:int -> answer
+(** Find the nearest other node to [target], entering the structure at
+    [start] (both are point indices). *)

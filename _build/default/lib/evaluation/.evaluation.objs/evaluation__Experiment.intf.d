@@ -1,0 +1,1 @@
+lib/evaluation/experiment.mli: Simnet

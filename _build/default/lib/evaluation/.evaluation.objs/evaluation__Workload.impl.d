@@ -1,0 +1,1 @@
+lib/evaluation/workload.ml: Array Config List Network Node Node_id Publish Simnet Tapestry

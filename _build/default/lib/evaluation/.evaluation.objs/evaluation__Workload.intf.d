@@ -1,0 +1,1 @@
+lib/evaluation/workload.mli: Simnet Tapestry

@@ -1,0 +1,86 @@
+(** The experiment harness: one entry per reproduced table/figure.
+
+    Each function builds its own networks, runs the workload and returns
+    rendered {!Simnet.Stats.Table.t}s whose rows mirror what the paper
+    reports (see DESIGN.md section 4 for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured).  [quick] shrinks sizes for test
+    and smoke use; experiments are deterministic given [seed]. *)
+
+type mode = Quick | Full
+
+val table1 : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E1 — Table 1 empirically: per scheme and size, insert cost (messages),
+    space per node (table entries), lookup hops, and pointer-load balance. *)
+
+val stretch : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E2 — stretch vs distance-to-object for Tapestry (both routing variants),
+    Chord, central directory and broadcast on a growth-restricted metric. *)
+
+val nn_k : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E3 — Lemma 1/Theorem 3: nearest-neighbor success and Property-1 backfill
+    pressure as the list width k sweeps. *)
+
+val insert_scaling : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E4 — insertion cost scaling: messages vs n with the log^2 n normalizer,
+    latency vs network diameter. *)
+
+val multicast : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E5 — Theorem 5: coverage and spanning-tree economy of acknowledged
+    multicast. *)
+
+val surrogate : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E6 — Theorem 2: root uniqueness for both localized routing variants and
+    the <2 expected surrogate-hop overhead. *)
+
+val availability : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E7 — object availability under churn (joins, voluntary leaves, silent
+    failures) with lazy repair and periodic republish. *)
+
+val concurrent_insert : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E8 — Theorem 6: batches of simultaneous insertions interleaved on the
+    fiber scheduler keep Property 1. *)
+
+val prr_v0 : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E9 — Theorem 7: PRR v.0 stretch and space on general (expansion-free)
+    metrics, next to Tapestry on the same spaces. *)
+
+val stub_locality : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E10 — Section 6.3: intra-stub query latency with and without the
+    local-branch optimization on transit-stub topologies. *)
+
+val table_quality : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E11 — incremental construction vs the static oracle: Property-2 slot
+    optimality and primary-distance quality. *)
+
+val delete : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E12 — deletion: consistency and availability through voluntary sweeps
+    and involuntary failures, plus Figure 9 pointer-path optimality. *)
+
+val nn_vs_kr : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E13 — Section 3's comparison: the level-list descent vs a Karger-Ruhl
+    style sampling search — exactness, messages, network distance, space. *)
+
+val continual_optimization : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E14 — Section 6.4: stretch/locality decay under drifting distances and
+    recovery by each optimization heuristic, with maintenance cost. *)
+
+val redundancy : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E15 — ablation of R (secondaries per slot) and root-set size
+    (Observation 1): availability through silent mass failure. *)
+
+val async_recovery : ?seed:int -> mode -> Simnet.Stats.Table.t list
+(** E16 — fully asynchronous timeline: mass silent failure under running
+    heartbeat and republish daemons (Sections 5.2/6.5); availability per
+    virtual-time bucket shows the dip and the soft-state recovery. *)
+
+val all : ?seed:int -> mode -> (string * Simnet.Stats.Table.t list) list
+(** Every experiment in paper order, tagged with its id.  Runs everything —
+    use {!by_name} to run one. *)
+
+val by_name : ?seed:int -> mode -> string -> Simnet.Stats.Table.t list
+(** Run one experiment. @raise Invalid_argument on an unknown name. *)
+
+val run_and_print : ?seed:int -> mode -> string list -> unit
+(** Print the named experiments (or all of them for [[]]) to stdout. *)
+
+val names : string list

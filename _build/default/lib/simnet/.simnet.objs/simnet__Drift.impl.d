@@ -1,0 +1,1 @@
+lib/simnet/drift.ml: Array Float Metric Rng

@@ -1,0 +1,1 @@
+lib/simnet/drift.mli: Metric Rng

@@ -1,0 +1,1 @@
+lib/simnet/fiber.ml: Effect Heap List

@@ -1,0 +1,1 @@
+lib/simnet/graph.ml: Array Heap List Metric

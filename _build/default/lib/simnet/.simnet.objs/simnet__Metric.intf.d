@@ -1,0 +1,1 @@
+lib/simnet/metric.mli: Rng

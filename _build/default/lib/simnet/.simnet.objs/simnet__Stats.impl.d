@@ -1,0 +1,1 @@
+lib/simnet/stats.ml: Array Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/simnet/topology.mli: Metric Rng

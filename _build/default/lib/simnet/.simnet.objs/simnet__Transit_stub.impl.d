@@ -1,0 +1,1 @@
+lib/simnet/transit_stub.ml: Array Graph List Metric Rng

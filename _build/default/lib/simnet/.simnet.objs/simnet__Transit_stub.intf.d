@@ -1,0 +1,1 @@
+lib/simnet/transit_stub.mli: Metric Rng

@@ -1,0 +1,30 @@
+type t = { mutable messages : int; mutable hops : int; mutable latency : float }
+
+let make () = { messages = 0; hops = 0; latency = 0. }
+
+let zero t =
+  t.messages <- 0;
+  t.hops <- 0;
+  t.latency <- 0.
+
+let send t ~dist =
+  t.messages <- t.messages + 1;
+  t.hops <- t.hops + 1;
+  t.latency <- t.latency +. dist
+
+let message t ~dist =
+  t.messages <- t.messages + 1;
+  t.latency <- t.latency +. dist
+
+let add acc x =
+  acc.messages <- acc.messages + x.messages;
+  acc.hops <- acc.hops + x.hops;
+  acc.latency <- acc.latency +. x.latency
+
+let snapshot t = { messages = t.messages; hops = t.hops; latency = t.latency }
+
+let diff a b =
+  { messages = a.messages - b.messages; hops = a.hops - b.hops; latency = a.latency -. b.latency }
+
+let pp ppf t =
+  Format.fprintf ppf "msgs=%d hops=%d latency=%.3f" t.messages t.hops t.latency

@@ -1,0 +1,33 @@
+(** Cost accounting for protocol operations.
+
+    The paper measures algorithms in network messages, application-level
+    hops, and network latency/distance, ignoring local computation
+    (Section 3: "Our bounds [are] in terms of network latency or network
+    hops and ignore local computation").  A [Cost.t] accumulates exactly
+    those three quantities; protocol code charges it on every simulated
+    message send. *)
+
+type t = { mutable messages : int; mutable hops : int; mutable latency : float }
+
+val make : unit -> t
+
+val zero : t -> unit
+(** Reset all counters. *)
+
+val send : t -> dist:float -> unit
+(** Charge one message over a link of the given length.  Counts as one
+    message, one hop and [dist] latency. *)
+
+val message : t -> dist:float -> unit
+(** Charge one message that is not on the critical path (e.g. parallel
+    multicast fan-out): counts messages and latency but not hops. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val snapshot : t -> t
+
+val diff : t -> t -> t
+(** [diff after before]. *)
+
+val pp : Format.formatter -> t -> unit

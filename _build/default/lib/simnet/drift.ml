@@ -1,0 +1,33 @@
+type t = { xs : float array; ys : float array }
+
+let create ~n ~rng =
+  {
+    xs = Array.init n (fun _ -> Rng.float rng 1.0);
+    ys = Array.init n (fun _ -> Rng.float rng 1.0);
+  }
+
+let wrap v =
+  let v = Float.rem v 1.0 in
+  if v < 0. then v +. 1.0 else v
+
+let torus_gap a b =
+  let d = abs_float (a -. b) in
+  min d (1.0 -. d)
+
+let metric t =
+  let dist i j =
+    let dx = torus_gap t.xs.(i) t.xs.(j) in
+    let dy = torus_gap t.ys.(i) t.ys.(j) in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  Metric.make ~size:(Array.length t.xs) ~desc:"drifting-torus" ~dist
+
+let advance t ~rng ~magnitude =
+  for i = 0 to Array.length t.xs - 1 do
+    t.xs.(i) <- wrap (t.xs.(i) +. (Rng.float rng (2. *. magnitude)) -. magnitude);
+    t.ys.(i) <- wrap (t.ys.(i) +. (Rng.float rng (2. *. magnitude)) -. magnitude)
+  done
+
+let snapshot t =
+  let pts = Array.init (Array.length t.xs) (fun i -> (t.xs.(i), t.ys.(i))) in
+  Metric.of_points_torus ~side:1.0 pts

@@ -1,0 +1,23 @@
+(** A time-varying Euclidean metric for the continual-optimization
+    experiments (paper Section 6.4: "network distance can change over time,
+    potentially thwarting our efforts to provide locally optimal routes").
+
+    Points live on a unit torus and random-walk when {!advance}d; {!metric}
+    returns a live view, so distances measured later differ from distances
+    cached earlier.  Staying Euclidean keeps the triangle inequality exact
+    at every instant. *)
+
+type t
+
+val create : n:int -> rng:Rng.t -> t
+
+val metric : t -> Metric.t
+(** Live view: reads current positions on every call. *)
+
+val advance : t -> rng:Rng.t -> magnitude:float -> unit
+(** Random-walk every point by up to [magnitude] in each coordinate
+    (wrapping).  [magnitude] 0.05–0.2 models route reconfigurations; the
+    space stays growth-restricted throughout. *)
+
+val snapshot : t -> Metric.t
+(** Frozen copy of the current distances (for oracles). *)

@@ -1,0 +1,58 @@
+(** Cooperative fibers over simulated time, built on OCaml 5 effect handlers.
+
+    The synchronous cost-accounting mode (see {!Cost}) measures message and
+    latency totals but cannot interleave operations.  Experiments E7/E8
+    (availability during insertion, simultaneous insertions — Sections 4.3
+    and 4.4 of the paper) need real interleavings, which this scheduler
+    provides: fibers perform {!sleep} to model link latency and {!Ivar.read}
+    to await replies, and the discrete-event loop advances a virtual clock.
+
+    Single-domain and deterministic: runs with equal seeds replay exactly. *)
+
+type t
+(** A scheduler instance. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val spawn : t -> (unit -> unit) -> unit
+(** Queue a new fiber to start at the current virtual time. *)
+
+val spawn_at : t -> float -> (unit -> unit) -> unit
+(** Queue a fiber to start at an absolute virtual time (>= now). *)
+
+val sleep : t -> float -> unit
+(** Suspend the calling fiber for the given virtual duration.  Must be
+    called from inside a fiber. *)
+
+val run : t -> unit
+(** Run until no runnable fiber remains.  Fibers still blocked on empty
+    ivars at that point are stalled (see {!stalled_fibers}). *)
+
+val run_until : t -> float -> unit
+(** Run events scheduled strictly up to the given virtual time. *)
+
+val stalled_fibers : t -> int
+(** Number of fibers that started but neither finished nor are queued —
+    i.e. blocked forever on ivars.  0 after a clean [run]. *)
+
+(** Single-assignment synchronization cells, bound to a scheduler. *)
+module Ivar : sig
+  type 'a ivar
+
+  val create : t -> 'a ivar
+
+  val fill : 'a ivar -> 'a -> unit
+  (** Wake all readers at the current virtual time.
+      @raise Invalid_argument if already filled. *)
+
+  val read : 'a ivar -> 'a
+  (** Block the calling fiber until the ivar is filled.  Must be called from
+      inside a fiber of the same scheduler. *)
+
+  val is_full : 'a ivar -> bool
+
+  val peek : 'a ivar -> 'a option
+end

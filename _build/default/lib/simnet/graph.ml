@@ -1,0 +1,66 @@
+type t = { n : int; adj : (int * float) list array }
+
+let create n = { n; adj = Array.make n [] }
+
+let size g = g.n
+
+let add_edge g u v w =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Graph.add_edge";
+  if u <> v then begin
+    let replace node other =
+      let rest = List.filter (fun (x, _) -> x <> other) g.adj.(node) in
+      let keep =
+        match List.assoc_opt other g.adj.(node) with
+        | Some w0 -> min w0 w
+        | None -> w
+      in
+      g.adj.(node) <- (other, keep) :: rest
+    in
+    replace u v;
+    replace v u
+  end
+
+let neighbors g u = g.adj.(u)
+
+let dijkstra g src =
+  let dist = Array.make g.n infinity in
+  let visited = Array.make g.n false in
+  let pq = Heap.create ~cmp:compare in
+  dist.(src) <- 0.;
+  Heap.push pq 0. src;
+  let rec loop () =
+    match Heap.pop pq with
+    | None -> ()
+    | Some (d, u) ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          List.iter
+            (fun (v, w) ->
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                Heap.push pq nd v
+              end)
+            g.adj.(u)
+        end;
+        loop ()
+  in
+  loop ();
+  dist
+
+let all_pairs g = Array.init g.n (fun src -> dijkstra g src)
+
+let connected g =
+  if g.n = 0 then true
+  else begin
+    let d = dijkstra g 0 in
+    Array.for_all (fun x -> x < infinity) d
+  end
+
+let to_metric g =
+  let m = all_pairs g in
+  Array.iter
+    (fun row ->
+      Array.iter (fun d -> if d = infinity then failwith "Graph.to_metric: disconnected graph") row)
+    m;
+  Metric.of_matrix m

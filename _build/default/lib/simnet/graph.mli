@@ -1,0 +1,28 @@
+(** Weighted undirected graphs and shortest-path metrics.
+
+    Used by the transit-stub generator: the physical topology is a graph and
+    the network metric is its shortest-path distance, as in the transit-stub
+    model the paper cites (Zegura et al., Section 6.2). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an edgeless graph on vertices [0 .. n-1]. *)
+
+val size : t -> int
+
+val add_edge : t -> int -> int -> float -> unit
+(** Undirected edge; keeps the minimum weight if the edge already exists. *)
+
+val neighbors : t -> int -> (int * float) list
+
+val dijkstra : t -> int -> float array
+(** Single-source shortest distances ([infinity] when unreachable). *)
+
+val all_pairs : t -> float array array
+(** Shortest-path distance matrix via repeated Dijkstra. *)
+
+val to_metric : t -> Metric.t
+(** Shortest-path metric.  @raise Failure if the graph is disconnected. *)
+
+val connected : t -> bool

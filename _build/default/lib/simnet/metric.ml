@@ -1,0 +1,100 @@
+type t = { size : int; desc : string; dist : int -> int -> float }
+
+let make ~size ~desc ~dist = { size; desc; dist }
+
+let of_points pts =
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    let dx = xi -. xj and dy = yi -. yj in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  { size = Array.length pts; desc = "euclidean-2d"; dist }
+
+let of_points_torus ~side pts =
+  let wrap d =
+    let d = abs_float d in
+    min d (side -. d)
+  in
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    let dx = wrap (xi -. xj) and dy = wrap (yi -. yj) in
+    sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  { size = Array.length pts; desc = "euclidean-torus"; dist }
+
+let of_matrix m =
+  let dist i j = m.(i).(j) in
+  { size = Array.length m; desc = "matrix"; dist }
+
+let size m = m.size
+
+let desc m = m.desc
+
+let dist m i j = m.dist i j
+
+let ball m p r =
+  let acc = ref [] in
+  for q = m.size - 1 downto 0 do
+    if m.dist p q <= r then acc := q :: !acc
+  done;
+  !acc
+
+let ball_count m p r =
+  let c = ref 0 in
+  for q = 0 to m.size - 1 do
+    if m.dist p q <= r then incr c
+  done;
+  !c
+
+let k_closest m p ~k ~candidates =
+  let arr = Array.of_list candidates in
+  let keyed = Array.map (fun q -> (m.dist p q, q)) arr in
+  Array.sort compare keyed;
+  let n = min k (Array.length keyed) in
+  Array.to_list (Array.map snd (Array.sub keyed 0 n))
+
+let nearest_other m p =
+  let best = ref None in
+  for q = 0 to m.size - 1 do
+    if q <> p then
+      match !best with
+      | None -> best := Some q
+      | Some b -> if m.dist p q < m.dist p b then best := Some q
+  done;
+  !best
+
+let diameter m ~sample ~rng =
+  if m.size <= 1 then 0.
+  else if m.size <= 256 then begin
+    let d = ref 0. in
+    for i = 0 to m.size - 1 do
+      for j = i + 1 to m.size - 1 do
+        d := max !d (m.dist i j)
+      done
+    done;
+    !d
+  end
+  else begin
+    let d = ref 0. in
+    for _ = 1 to sample do
+      let i = Rng.int rng m.size and j = Rng.int rng m.size in
+      d := max !d (m.dist i j)
+    done;
+    !d
+  end
+
+let expansion_estimate m ~samples ~rng =
+  let worst = ref 1. in
+  for _ = 1 to samples do
+    let p = Rng.int rng m.size in
+    let q = Rng.int rng m.size in
+    let r = m.dist p q in
+    if r > 0. then begin
+      let big = ball_count m p (2. *. r) in
+      let small = ball_count m p r in
+      (* Equation 1 exempts balls already covering the whole space. *)
+      if big < m.size && small > 0 then
+        worst := max !worst (float_of_int big /. float_of_int small)
+    end
+  done;
+  !worst

@@ -1,0 +1,49 @@
+(** Finite metric spaces over points addressed by dense integer indices.
+
+    Every protocol in this reproduction consumes distances only through this
+    interface, mirroring the paper's model: a network topology induces a
+    metric space satisfying the triangle inequality (Section 3).  The
+    expansion property of Equation 1 ([|B(2r)| <= c |B(r)|]) holds or fails
+    depending on the generator; {!expansion_estimate} measures it. *)
+
+type t
+
+val make : size:int -> desc:string -> dist:(int -> int -> float) -> t
+(** A metric over points [0 .. size-1]. [dist] must be symmetric, and zero
+    exactly on the diagonal. *)
+
+val of_points : (float * float) array -> t
+(** Euclidean metric over points in the plane. *)
+
+val of_points_torus : side:float -> (float * float) array -> t
+(** Euclidean metric with wrap-around on a [side] x [side] torus (the
+    cleanest growth-restricted space: expansion constant 4 everywhere). *)
+
+val of_matrix : float array array -> t
+(** Explicit distance matrix (used for graph-induced metrics). *)
+
+val size : t -> int
+
+val desc : t -> string
+
+val dist : t -> int -> int -> float
+
+val ball : t -> int -> float -> int list
+(** [ball m p r] is every point within distance [r] of [p] (including [p]).
+    O(size); for verification and oracles, not protocol logic. *)
+
+val ball_count : t -> int -> float -> int
+
+val k_closest : t -> int -> k:int -> candidates:int list -> int list
+(** The [k] candidates closest to the given point, ascending by distance. *)
+
+val nearest_other : t -> int -> int option
+(** Closest point distinct from the argument (brute force oracle). *)
+
+val diameter : t -> sample:int -> rng:Rng.t -> float
+(** Estimated diameter from [sample] random pairs (exact scan if the space
+    is small). *)
+
+val expansion_estimate : t -> samples:int -> rng:Rng.t -> float
+(** Empirical expansion constant: max over sampled (point, radius) pairs of
+    [|B(2r)|/|B(r)|], ignoring balls that already cover the space. *)

@@ -1,0 +1,39 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (topologies, node IDs,
+    workloads, sampling) draws from an explicit [Rng.t] so that experiments
+    are reproducible from a single seed and independent streams can be split
+    off without correlation. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** Independent child stream; the parent advances. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed arrival gap with the given mean. *)

@@ -1,0 +1,158 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let empty_summary =
+  { n = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  match xs with
+  | [] -> 0.
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      let idx = max 0 (min (n - 1) idx) in
+      a.(idx)
+
+let summarize xs =
+  match xs with
+  | [] -> empty_summary
+  | xs ->
+      let n = List.length xs in
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int n
+      in
+      {
+        n;
+        mean = m;
+        stddev = sqrt var;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+        p50 = percentile xs 0.5;
+        p90 = percentile xs 0.9;
+        p99 = percentile xs 0.99;
+      }
+
+let gini xs =
+  match xs with
+  | [] -> 0.
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let total = Array.fold_left ( +. ) 0. a in
+      if total <= 0. then 0.
+      else begin
+        let weighted = ref 0. in
+        for i = 0 to n - 1 do
+          weighted := !weighted +. (float_of_int (i + 1) *. a.(i))
+        done;
+        let nf = float_of_int n in
+        ((2. *. !weighted) /. (nf *. total)) -. ((nf +. 1.) /. nf)
+      end
+
+let linear_fit pts =
+  let n = float_of_int (List.length pts) in
+  if n < 2. then (0., 0.)
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then (0., sy /. n)
+    else begin
+      let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+      (slope, (sy -. (slope *. sx)) /. n)
+    end
+  end
+
+let fmt_float x =
+  if Float.is_integer x && abs_float x < 1e7 then Printf.sprintf "%.0f" x
+  else if abs_float x >= 1000. then Printf.sprintf "%.0f" x
+  else if abs_float x >= 10. then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%s sd=%s min=%s p50=%s p90=%s p99=%s max=%s"
+    s.n (fmt_float s.mean) (fmt_float s.stddev) (fmt_float s.min)
+    (fmt_float s.p50) (fmt_float s.p90) (fmt_float s.p99) (fmt_float s.max)
+
+module Table = struct
+  type t = {
+    title : string;
+    columns : string list;
+    mutable rows : string list list; (* stored reversed *)
+  }
+
+  let create ~title ~columns = { title; columns; rows = [] }
+
+  let add_row t row =
+    if List.length row <> List.length t.columns then
+      invalid_arg "Stats.Table.add_row: wrong arity";
+    t.rows <- row :: t.rows
+
+  let render t =
+    let rows = List.rev t.rows in
+    let all = t.columns :: rows in
+    let ncols = List.length t.columns in
+    let widths = Array.make ncols 0 in
+    let note_widths row =
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+    in
+    List.iter note_widths all;
+    let buf = Buffer.create 256 in
+    let pad i s = s ^ String.make (widths.(i) - String.length s) ' ' in
+    let emit_row row =
+      Buffer.add_string buf "| ";
+      List.iteri
+        (fun i cell ->
+          Buffer.add_string buf (pad i cell);
+          Buffer.add_string buf " | ")
+        row;
+      (* trim trailing space *)
+      let len = Buffer.length buf in
+      Buffer.truncate buf (len - 1);
+      Buffer.add_char buf '\n'
+    in
+    let rule () =
+      Buffer.add_char buf '+';
+      Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-'); Buffer.add_char buf '+') widths;
+      Buffer.add_char buf '\n'
+    in
+    Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+    rule ();
+    emit_row t.columns;
+    rule ();
+    List.iter emit_row rows;
+    rule ();
+    Buffer.contents buf
+
+  let print t = print_string (render t)
+
+  let title t = t.title
+
+  let to_csv t =
+    let quote cell =
+      if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+        "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+      else cell
+    in
+    let line row = String.concat "," (List.map quote row) in
+    String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"
+end

@@ -1,0 +1,51 @@
+(** Summary statistics and plain-text table rendering for experiments. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Summary of a non-empty sample; all-zero summary for an empty one. *)
+
+val mean : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]], nearest-rank on sorted data. *)
+
+val gini : float list -> float
+(** Gini coefficient of a non-negative sample; 0 = perfectly balanced.
+    Used for the "Balanced?" column of Table 1. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] returns [(slope, intercept)] of the least-squares line.
+    Used on log-log data to estimate asymptotic exponents. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Fixed-width table rendering used by the bench harness and the CLI. *)
+module Table : sig
+  type t
+
+  val create : title:string -> columns:string list -> t
+
+  val add_row : t -> string list -> unit
+
+  val render : t -> string
+
+  val print : t -> unit
+
+  val title : t -> string
+
+  val to_csv : t -> string
+  (** Comma-separated rendering (quoted cells), header row first. *)
+end
+
+val fmt_float : float -> string
+(** Compact float formatting for table cells. *)

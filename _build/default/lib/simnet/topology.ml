@@ -1,0 +1,87 @@
+type kind =
+  | Uniform_square
+  | Uniform_torus
+  | Grid
+  | Ring
+  | Clustered
+  | Star
+  | Random_metric
+
+let kind_name = function
+  | Uniform_square -> "uniform-square"
+  | Uniform_torus -> "uniform-torus"
+  | Grid -> "grid"
+  | Ring -> "ring"
+  | Clustered -> "clustered"
+  | Star -> "star"
+  | Random_metric -> "random-metric"
+
+let all_kinds =
+  [ Uniform_square; Uniform_torus; Grid; Ring; Clustered; Star; Random_metric ]
+
+let uniform_points n rng =
+  Array.init n (fun _ ->
+      let x = Rng.float rng 1.0 in
+      let y = Rng.float rng 1.0 in
+      (x, y))
+
+let grid_points n =
+  let side = int_of_float (ceil (sqrt (float_of_int n))) in
+  let step = 1.0 /. float_of_int side in
+  Array.init n (fun i ->
+      let r = i / side and c = i mod side in
+      (float_of_int c *. step, float_of_int r *. step))
+
+let ring_metric n =
+  (* Circumference distance between evenly spaced points: a 1-D
+     growth-restricted space with expansion constant 2. *)
+  let dist i j =
+    let d = abs (i - j) in
+    let d = min d (n - d) in
+    float_of_int d /. float_of_int n
+  in
+  Metric.make ~size:n ~desc:"ring" ~dist
+
+let clustered_points n rng =
+  (* sqrt(n) clusters of diameter 0.01, centers uniform in the unit square:
+     |B(2r)| / |B(r)| blows up when r crosses the intra/inter-cluster gap. *)
+  let nclusters = max 2 (int_of_float (sqrt (float_of_int n))) in
+  let centers = uniform_points nclusters rng in
+  Array.init n (fun i ->
+      let cx, cy = centers.(i mod nclusters) in
+      (cx +. Rng.float rng 0.01, cy +. Rng.float rng 0.01))
+
+let star_points n rng =
+  (* One dense core plus a few distant satellites at a single scale; the ball
+     around the hub jumps from O(1) to n when the radius crosses the spoke
+     length. *)
+  Array.init n (fun i ->
+      if i = 0 then (0.5, 0.5)
+      else if i mod 16 = 0 then
+        let ang = Rng.float rng 6.28318 in
+        (0.5 +. (0.45 *. cos ang), 0.5 +. (0.45 *. sin ang))
+      else (0.5 +. Rng.float rng 0.001, 0.5 +. Rng.float rng 0.001))
+
+let random_metric n rng =
+  (* Uniform random edge weights in [1,2]: any such matrix satisfies the
+     triangle inequality (1+1 >= 2) and has essentially no growth structure. *)
+  let m = Array.make_matrix n n 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = 1.0 +. Rng.float rng 1.0 in
+      m.(i).(j) <- d;
+      m.(j).(i) <- d
+    done
+  done;
+  Metric.of_matrix m
+
+let generate kind ~n ~rng =
+  if n <= 0 then invalid_arg "Topology.generate: n must be positive";
+  match kind with
+  | Uniform_square -> Metric.of_points (uniform_points n rng)
+  | Uniform_torus -> Metric.of_points_torus ~side:1.0 (uniform_points n rng)
+  | Grid -> Metric.of_points (grid_points n)
+  | Ring -> ring_metric n
+  | Clustered -> Metric.of_points (clustered_points n rng)
+  | Star -> Metric.of_points (star_points n rng)
+  | Random_metric -> random_metric n rng

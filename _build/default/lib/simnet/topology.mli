@@ -1,0 +1,24 @@
+(** Point-set / metric generators for the experiments.
+
+    Growth-restricted generators ({!uniform_square}, {!uniform_torus},
+    {!grid}, {!ring}) satisfy the paper's Equation 1 with a small constant;
+    {!clustered}, {!star} and {!random_metric} deliberately violate it so the
+    general-metric claims (Section 7) and robustness observations
+    (Section 6.2) can be exercised. *)
+
+type kind =
+  | Uniform_square  (** i.i.d. uniform in a unit square; c ~ 4 away from edges *)
+  | Uniform_torus  (** i.i.d. uniform on a unit torus; cleanest expansion *)
+  | Grid  (** regular sqrt(n) x sqrt(n) lattice *)
+  | Ring  (** n points evenly spaced on a circle (1-D growth) *)
+  | Clustered  (** tight clusters far apart: large expansion constant *)
+  | Star  (** one hub, all points near it at two scales: pathological *)
+  | Random_metric  (** uniform random distances, triangle-closed; general metric *)
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+val generate : kind -> n:int -> rng:Rng.t -> Metric.t
+(** A metric over [n] points of the requested kind.  Deterministic given the
+    rng state. *)

@@ -1,0 +1,96 @@
+type params = {
+  transit_domains : int;
+  transit_size : int;
+  stubs_per_transit : int;
+  stub_size : int;
+  intra_stub_latency : float;
+  transit_latency : float;
+}
+
+let default_params =
+  {
+    transit_domains = 2;
+    transit_size = 4;
+    stubs_per_transit = 3;
+    stub_size = 8;
+    intra_stub_latency = 1.0;
+    transit_latency = 20.0;
+  }
+
+type t = {
+  metric : Metric.t;
+  stub_id : int option array; (* per node: Some stub | None for transit *)
+  nstubs : int;
+  host_list : int list;
+}
+
+let jitter rng base = base *. (0.75 +. Rng.float rng 0.5)
+
+let generate p ~rng =
+  if p.transit_domains < 1 || p.transit_size < 1 || p.stub_size < 1 then
+    invalid_arg "Transit_stub.generate";
+  let n_transit = p.transit_domains * p.transit_size in
+  let n_stub_domains = n_transit * p.stubs_per_transit in
+  let n = n_transit + (n_stub_domains * p.stub_size) in
+  let g = Graph.create n in
+  let stub_id = Array.make n None in
+  (* Transit backbone: ring within each domain plus a chord, and a full mesh
+     of inter-domain links between domain gateways (node 0 of each). *)
+  for d = 0 to p.transit_domains - 1 do
+    let base = d * p.transit_size in
+    for i = 0 to p.transit_size - 1 do
+      let u = base + i and v = base + ((i + 1) mod p.transit_size) in
+      if u <> v then Graph.add_edge g u v (jitter rng p.transit_latency)
+    done;
+    if p.transit_size > 2 then
+      Graph.add_edge g base (base + (p.transit_size / 2)) (jitter rng p.transit_latency)
+  done;
+  for d1 = 0 to p.transit_domains - 1 do
+    for d2 = d1 + 1 to p.transit_domains - 1 do
+      Graph.add_edge g (d1 * p.transit_size) (d2 * p.transit_size)
+        (jitter rng (2.0 *. p.transit_latency))
+    done
+  done;
+  (* Stub domains: each is a star + ring around its own gateway, with an
+     uplink to its transit node. *)
+  let next = ref n_transit in
+  let hosts = ref [] in
+  let stub_counter = ref 0 in
+  for t_node = 0 to n_transit - 1 do
+    for _s = 1 to p.stubs_per_transit do
+      let sid = !stub_counter in
+      incr stub_counter;
+      let members = Array.init p.stub_size (fun i -> !next + i) in
+      next := !next + p.stub_size;
+      Array.iter
+        (fun m ->
+          stub_id.(m) <- Some sid;
+          hosts := m :: !hosts)
+        members;
+      let gw = members.(0) in
+      Graph.add_edge g gw t_node (jitter rng p.transit_latency);
+      for i = 1 to p.stub_size - 1 do
+        Graph.add_edge g members.(i) gw (jitter rng p.intra_stub_latency);
+        Graph.add_edge g members.(i)
+          members.(1 + ((i + 1) mod (p.stub_size - 1)))
+          (jitter rng p.intra_stub_latency)
+      done
+    done
+  done;
+  let metric = Graph.to_metric g in
+  { metric; stub_id; nstubs = !stub_counter; host_list = List.rev !hosts }
+
+let metric t = t.metric
+
+let size t = Metric.size t.metric
+
+let stub_of t i = t.stub_id.(i)
+
+let same_stub t i j =
+  match (t.stub_id.(i), t.stub_id.(j)) with
+  | Some a, Some b -> a = b
+  | _ -> false
+
+let stub_count t = t.nstubs
+
+let hosts t = t.host_list

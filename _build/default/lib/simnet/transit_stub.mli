@@ -1,0 +1,42 @@
+(** Transit-stub internetwork model (Zegura, Calvert, Bhattacharjee).
+
+    The topology is a small core of transit domains; each transit node hangs
+    a few stub domains off it.  Intra-stub links are cheap, transit links are
+    an order of magnitude more expensive, matching the latency separation
+    Section 6.3 exploits.  The induced metric is the graph's shortest-path
+    distance, and {!stub_of} exposes the stub-membership oracle that the
+    local-branch optimization needs ("assume Tapestry nodes can detect
+    whether the next hop is within the same stub"). *)
+
+type params = {
+  transit_domains : int;  (** number of transit domains *)
+  transit_size : int;  (** nodes per transit domain *)
+  stubs_per_transit : int;  (** stub domains per transit node *)
+  stub_size : int;  (** nodes per stub domain *)
+  intra_stub_latency : float;  (** mean stub-internal edge weight *)
+  transit_latency : float;  (** mean transit edge / uplink weight *)
+}
+
+val default_params : params
+(** 2 transit domains x 4 transit nodes, 3 stubs of 8 per transit node
+    (~200 hosts), 1ms stub edges vs 20ms transit edges. *)
+
+type t
+
+val generate : params -> rng:Rng.t -> t
+
+val metric : t -> Metric.t
+(** Shortest-path metric over all nodes (transit + stub). *)
+
+val size : t -> int
+
+val stub_of : t -> int -> int option
+(** Stub-domain id of a node, or [None] for transit nodes. *)
+
+val same_stub : t -> int -> int -> bool
+
+val stub_count : t -> int
+
+val hosts : t -> int list
+(** Indices of stub (host) nodes — the ones that participate in the overlay;
+    transit nodes are routers only. *)

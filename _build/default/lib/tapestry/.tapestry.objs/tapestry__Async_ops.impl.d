@@ -1,0 +1,1 @@
+lib/tapestry/async_ops.ml: Config Delete List Locate Maintenance Network Node Node_id Pointer_store Publish Route Routing_table Simnet

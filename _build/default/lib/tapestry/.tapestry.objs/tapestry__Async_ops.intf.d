@@ -1,0 +1,1 @@
+lib/tapestry/async_ops.mli: Locate Network Node Node_id Route Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/config.mli: Format

@@ -1,0 +1,1 @@
+lib/tapestry/delete.ml: Array Config List Maintenance Network Node Node_id Pointer_store Publish Route Routing_table

@@ -1,0 +1,1 @@
+lib/tapestry/delete.mli: Network Node Node_id

@@ -1,0 +1,1 @@
+lib/tapestry/id_index.ml: Array List Node_id

@@ -1,0 +1,1 @@
+lib/tapestry/id_index.mli: Node_id

@@ -1,0 +1,1 @@
+lib/tapestry/insert.ml: Array Config List Maintenance Multicast Nearest_neighbor Network Node Node_id Route Routing_table Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/insert.mli: Config Nearest_neighbor Network Node Node_id Simnet

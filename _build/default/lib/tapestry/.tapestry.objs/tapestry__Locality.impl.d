@@ -1,0 +1,1 @@
+lib/tapestry/locality.ml: Config List Locate Network Node Node_id Pointer_store Publish Route

@@ -1,0 +1,1 @@
+lib/tapestry/locality.mli: Locate Network Node Node_id

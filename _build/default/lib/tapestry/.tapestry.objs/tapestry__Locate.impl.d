@@ -1,0 +1,1 @@
+lib/tapestry/locate.ml: Config List Network Node Node_id Option Pointer_store Route Simnet

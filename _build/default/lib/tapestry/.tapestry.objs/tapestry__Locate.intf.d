@@ -1,0 +1,1 @@
+lib/tapestry/locate.mli: Network Node Node_id Route

@@ -1,0 +1,1 @@
+lib/tapestry/maintenance.ml: Config List Network Node Node_id Pointer_store Publish Route

@@ -1,0 +1,1 @@
+lib/tapestry/maintenance.mli: Network Node Node_id Pointer_store Route

@@ -1,0 +1,1 @@
+lib/tapestry/multicast.ml: Array Config List Network Node Node_id Routing_table Simnet

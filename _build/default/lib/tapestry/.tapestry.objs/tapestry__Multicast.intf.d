@@ -1,0 +1,1 @@
+lib/tapestry/multicast.mli: Network Node

@@ -1,0 +1,1 @@
+lib/tapestry/nearest_neighbor.ml: Array Config List Network Node Node_id Option Route Routing_table

@@ -1,0 +1,1 @@
+lib/tapestry/nearest_neighbor.mli: Network Node

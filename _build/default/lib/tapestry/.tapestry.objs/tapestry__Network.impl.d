@@ -1,0 +1,1 @@
+lib/tapestry/network.ml: Array Config Fun Id_index List Node Node_id Routing_table Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/network.mli: Config Id_index Node Node_id Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/node.ml: Format Node_id Pointer_store Routing_table

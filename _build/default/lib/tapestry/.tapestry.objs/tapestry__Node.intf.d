@@ -1,0 +1,1 @@
+lib/tapestry/node.mli: Config Format Node_id Pointer_store Routing_table

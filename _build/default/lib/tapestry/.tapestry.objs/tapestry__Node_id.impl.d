@@ -1,0 +1,1 @@
+lib/tapestry/node_id.ml: Array Hashtbl Printf Simnet Stdlib String

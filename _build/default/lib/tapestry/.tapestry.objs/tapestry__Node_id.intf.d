@@ -1,0 +1,1 @@
+lib/tapestry/node_id.mli: Hashtbl Map Set Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/optimizer.ml: Config List Maintenance Multicast Nearest_neighbor Network Node Node_id Pointer_store Route Routing_table Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/optimizer.mli: Network Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/pointer_store.ml: Hashtbl List Node_id

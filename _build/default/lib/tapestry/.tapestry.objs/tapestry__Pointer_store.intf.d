@@ -1,0 +1,1 @@
+lib/tapestry/pointer_store.mli: Node_id

@@ -1,0 +1,1 @@
+lib/tapestry/publish.ml: Config List Network Node Node_id Pointer_store Route Routing_table

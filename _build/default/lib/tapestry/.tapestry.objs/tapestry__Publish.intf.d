@@ -1,0 +1,1 @@
+lib/tapestry/publish.mli: Network Node Node_id Route

@@ -1,0 +1,1 @@
+lib/tapestry/route.ml: Config List Network Node Node_id Option Routing_table Simnet

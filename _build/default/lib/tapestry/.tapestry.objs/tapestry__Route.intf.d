@@ -1,0 +1,1 @@
+lib/tapestry/route.mli: Network Node Node_id

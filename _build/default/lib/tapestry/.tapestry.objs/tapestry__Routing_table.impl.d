@@ -1,0 +1,1 @@
+lib/tapestry/routing_table.ml: Array Config Format List Node_id String

@@ -1,0 +1,1 @@
+lib/tapestry/routing_table.mli: Config Format Node_id

@@ -1,0 +1,1 @@
+lib/tapestry/static_build.ml: Array List Network Node Node_id Routing_table

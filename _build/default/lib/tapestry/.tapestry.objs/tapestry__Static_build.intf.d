@@ -1,0 +1,1 @@
+lib/tapestry/static_build.mli: Config Network Simnet

@@ -1,0 +1,1 @@
+lib/tapestry/verify.ml: Config List Locate Network Node Node_id Pointer_store Route Simnet

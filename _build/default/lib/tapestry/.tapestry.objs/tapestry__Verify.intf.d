@@ -1,0 +1,1 @@
+lib/tapestry/verify.mli: Network Node_id

@@ -1,0 +1,48 @@
+(** Asynchronous protocol execution over the fiber scheduler.
+
+    The synchronous modules run a whole operation atomically; here every
+    network hop takes real (virtual) time — the fiber sleeps for the link
+    latency before the next node's state is read — so operations genuinely
+    race with membership changes, repairs and each other.  This is the
+    execution model of the deployed Tapestry the paper describes in
+    Sections 5.2 and 6.5: heartbeat beacons detect silent failures,
+    republish daemons refresh soft state, and queries in flight observe
+    whatever the mesh looks like when they arrive at each hop.
+
+    All functions must be called from inside a fiber of the scheduler. *)
+
+type env = {
+  sched : Simnet.Fiber.t;
+  net : Network.t;
+  latency_scale : float;  (** virtual seconds per unit of metric distance *)
+  timeout : float;  (** extra delay charged when probing a dead node *)
+}
+
+val make_env :
+  ?latency_scale:float -> ?timeout:float -> Simnet.Fiber.t -> Network.t -> env
+
+val sync_clock : env -> unit
+(** Copy the fiber scheduler's virtual time into the network clock so that
+    soft-state expiry sees asynchronous time. *)
+
+val route_to_root :
+  ?variant:Route.variant -> env -> from:Node.t -> Node_id.t -> Route.info
+(** Surrogate routing, one fiber sleep per hop; dead hops cost [timeout] and
+    trigger lazy repair at the node that noticed. *)
+
+val locate : env -> client:Node.t -> Node_id.t -> Locate.result
+(** Asynchronous locate: walks toward the root hop by hop (sleeping per
+    link), checks pointers against the state found on arrival, then travels
+    to the replica. *)
+
+val publish : env -> server:Node.t -> Node_id.t -> unit
+(** Asynchronous publish of one replica: deposits pointers hop by hop. *)
+
+val heartbeat_daemon : env -> period:float -> rounds:int -> unit
+(** Section 6.5's soft-state beacons: every [period], each alive node pings
+    the neighbors in its table; dead ones are dropped, holes repaired, and
+    affected object pointers re-routed.  Runs [rounds] sweeps then exits. *)
+
+val republish_daemon : env -> period:float -> rounds:int -> unit
+(** Every [period], all servers republish all replicas (asynchronously) and
+    expired pointers are dropped. *)

@@ -1,0 +1,181 @@
+type stats = {
+  notified : int;
+  pointers_rerouted : int;
+  objects_rerooted : int;
+}
+
+let repair_hole net ~(owner : Node.t) ~level ~digit =
+  if not (Routing_table.is_hole owner.Node.table ~level ~digit) then true
+  else begin
+    (* Local search: ask every remaining neighbor that shares [level] digits
+       for its own (prefix, digit) entries. *)
+    let offered = ref false in
+    Routing_table.known_at_level owner.Node.table ~level
+    |> List.iter (fun id ->
+           match Network.find net id with
+           | Some peer when Node.is_alive peer ->
+               Network.charge_aside net owner peer;
+               Network.charge_aside net peer owner;
+               Routing_table.slot peer.Node.table ~level ~digit
+               |> List.iter (fun (e : Routing_table.entry) ->
+                      match Network.find net e.id with
+                      | Some cand when Node.is_alive cand ->
+                          if Network.offer_link net ~owner ~level ~candidate:cand
+                          then offered := true
+                      | _ -> ())
+           | _ -> ());
+    if !offered then true
+    else begin
+      (* Routed probe: surrogate-route toward an ID with the wanted prefix;
+         the maximal-prefix property of the root answers existence exactly. *)
+      let target_digits = Node_id.digits owner.Node.id in
+      target_digits.(level) <- digit;
+      let target = Node_id.make target_digits in
+      let info = Route.route_to_root net ~from:owner target in
+      let root = info.Route.root in
+      if
+        (not (Node_id.equal root.Node.id owner.Node.id))
+        && Node_id.common_prefix_len root.Node.id target >= level + 1
+      then Network.offer_link net ~owner ~level ~candidate:root
+      else false
+    end
+  end
+
+(* Re-push every pointer record at [owner]; records whose path is unchanged
+   converge at the first hop, so this is cheap when nothing moved. *)
+let reoptimize_pointers net ~(owner : Node.t) =
+  let n = ref 0 in
+  Pointer_store.records owner.Node.pointers
+  |> List.iter (fun r ->
+         incr n;
+         Maintenance.optimize_object_ptrs net ~changed:owner r);
+  !n
+
+let on_dead_repair net ~owner ~dead =
+  let levels = Routing_table.remove owner.Node.table dead in
+  (match Network.find net dead with
+  | Some d ->
+      List.iter
+        (fun level -> Routing_table.remove_backpointer d.Node.table ~level owner.Node.id)
+        levels
+  | None -> ());
+  List.iter
+    (fun level ->
+      let digit =
+        match Network.find net dead with
+        | Some (d : Node.t) -> Node_id.digit d.Node.id level
+        | None -> -1
+      in
+      if digit >= 0 && Routing_table.is_hole owner.Node.table ~level ~digit then
+        ignore (repair_hole net ~owner ~level ~digit))
+    levels;
+  ignore (reoptimize_pointers net ~owner)
+
+let fail net node = Network.mark_dead net node
+
+let voluntary net (node : Node.t) =
+  if node.Node.status <> Node.Active then
+    invalid_arg "Delete.voluntary: node is not active";
+  node.Node.status <- Node.Leaving;
+  let cfg = net.Network.config in
+  (* The data leaves with the node: withdraw its replicas first. *)
+  let replicas = Node_id.Tbl.fold (fun g () acc -> g :: acc) node.Node.replicas [] in
+  List.iter (fun guid -> Publish.unpublish net ~server:node guid) replicas;
+  (* Phase 1: notify backpointer holders with per-level replacements. *)
+  let notified = ref 0 in
+  let rerouted = ref 0 in
+  List.iter
+    (fun (level, holder_id) ->
+      match Network.find net holder_id with
+      | Some holder when Node.is_alive holder ->
+          incr notified;
+          Network.charge net node holder;
+          (* Records at the holder that route through the leaver must move;
+             capture them before the link goes away. *)
+          let moving =
+            Pointer_store.records holder.Node.pointers
+            |> List.filter (fun (r : Pointer_store.record) ->
+                   let salted =
+                     Node_id.salt ~base:cfg.Config.base r.Pointer_store.guid
+                       r.Pointer_store.root_idx
+                   in
+                   match Route.peek_first_hop net holder salted with
+                   | Some hop -> Node_id.equal hop.Node.id node.Node.id
+                   | None -> false)
+          in
+          (* Replacement candidates: the leaver's own slot for its digit at
+             this level holds exactly the nodes that can stand in for it. *)
+          let digit = Node_id.digit node.Node.id level in
+          Routing_table.slot node.Node.table ~level ~digit
+          |> List.iter (fun (e : Routing_table.entry) ->
+                 if not (Node_id.equal e.id node.Node.id) then
+                   match Network.find net e.id with
+                   | Some cand when Node.is_alive cand ->
+                       ignore (Network.offer_link net ~owner:holder ~level ~candidate:cand)
+                   | _ -> ());
+          Network.drop_link net ~owner:holder ~target:node.Node.id;
+          if Routing_table.is_hole holder.Node.table ~level ~digit then
+            ignore (repair_hole net ~owner:holder ~level ~digit);
+          List.iter
+            (fun r ->
+              incr rerouted;
+              Maintenance.optimize_object_ptrs net ~changed:holder r)
+            moving
+      | _ -> ())
+    (Routing_table.all_backpointers node.Node.table);
+  (* Phase 2: re-root the objects this node is root for, with itself masked
+     out of every lookup. *)
+  let rerooted = ref 0 in
+  Pointer_store.records node.Node.pointers
+  |> List.iter (fun (r : Pointer_store.record) ->
+         let salted =
+           Node_id.salt ~base:cfg.Config.base r.Pointer_store.guid
+             r.Pointer_store.root_idx
+         in
+         let is_root = Route.peek_first_hop net node salted = None in
+         if is_root then begin
+           incr rerooted;
+           let expires = net.Network.clock +. cfg.Config.pointer_ttl in
+           let _, _, _ =
+             Route.fold_path ~exclude:node.Node.id net ~from:node salted
+               ~init:node.Node.id
+               ~f:(fun sender hop ->
+                 if Node_id.equal hop.Node.id node.Node.id then
+                   `Continue hop.Node.id
+                 else begin
+                   ignore
+                     (Pointer_store.store hop.Node.pointers
+                        ~guid:r.Pointer_store.guid ~server:r.Pointer_store.server
+                        ~root_idx:r.Pointer_store.root_idx ~previous:(Some sender)
+                        ~expires);
+                   `Continue hop.Node.id
+                 end)
+           in
+           ()
+         end);
+  (* Final phase: sever remaining forward links and disconnect. *)
+  Routing_table.iter_entries node.Node.table (fun ~level ~digit:_ e ->
+      match Network.find net e.Routing_table.id with
+      | Some peer when not (Node_id.equal peer.Node.id node.Node.id) ->
+          Routing_table.remove_backpointer peer.Node.table ~level node.Node.id;
+          (* defensive: if the peer still lists us, drop that link too *)
+          Network.drop_link net ~owner:peer ~target:node.Node.id
+      | _ -> ());
+  Network.mark_dead net node;
+  { notified = !notified; pointers_rerouted = !rerouted; objects_rerooted = !rerooted }
+
+let repair_all_holes net =
+  let filled = ref 0 in
+  List.iter
+    (fun (owner : Node.t) ->
+      (* purge dead entries first so holes are visible *)
+      Routing_table.iter_entries owner.Node.table (fun ~level:_ ~digit:_ e ->
+          match Network.find net e.Routing_table.id with
+          | Some n when Node.is_alive n -> ()
+          | _ -> ignore (Routing_table.remove owner.Node.table e.Routing_table.id));
+      List.iter
+        (fun (level, digit) ->
+          if repair_hole net ~owner ~level ~digit then incr filled)
+        (Routing_table.holes owner.Node.table))
+    (Network.core_nodes net);
+  !filled

@@ -1,0 +1,106 @@
+type node = {
+  mutable count : int; (* IDs stored in this subtree *)
+  mutable terminal : Node_id.t list; (* IDs ending exactly here *)
+  children : node option array;
+}
+
+type t = { base : int; root : node }
+
+let fresh_node base = { count = 0; terminal = []; children = Array.make base None }
+
+let create ~base = { base; root = fresh_node base }
+
+let add t id =
+  (* Walk down, creating nodes and bumping counts. *)
+  let rec go n i =
+    n.count <- n.count + 1;
+    if i = Node_id.length id then n.terminal <- id :: n.terminal
+    else begin
+      let d = Node_id.digit id i in
+      let c =
+        match n.children.(d) with
+        | Some c -> c
+        | None ->
+            let c = fresh_node t.base in
+            n.children.(d) <- Some c;
+            c
+      in
+      go c (i + 1)
+    end
+  in
+  go t.root 0
+
+let remove t id =
+  let rec present n i =
+    if i = Node_id.length id then List.exists (Node_id.equal id) n.terminal
+    else
+      match n.children.(Node_id.digit id i) with
+      | Some c -> present c (i + 1)
+      | None -> false
+  in
+  if present t.root 0 then begin
+    let rec go n i =
+      n.count <- n.count - 1;
+      if i = Node_id.length id then
+        n.terminal <- List.filter (fun x -> not (Node_id.equal x id)) n.terminal
+      else begin
+        let d = Node_id.digit id i in
+        match n.children.(d) with
+        | Some c ->
+            go c (i + 1);
+            if c.count = 0 then n.children.(d) <- None
+        | None -> ()
+      end
+    in
+    go t.root 0
+  end
+
+let mem t id =
+  let rec go n i =
+    if i = Node_id.length id then List.exists (Node_id.equal id) n.terminal
+    else
+      match n.children.(Node_id.digit id i) with
+      | Some c -> go c (i + 1)
+      | None -> false
+  in
+  go t.root 0
+
+let size t = t.root.count
+
+let find_prefix t ~prefix ~len =
+  let rec go n i =
+    if i = len then Some n
+    else
+      match n.children.(prefix.(i)) with Some c -> go c (i + 1) | None -> None
+  in
+  go t.root 0
+
+let digits_after t ~prefix ~len =
+  match find_prefix t ~prefix ~len with
+  | None -> []
+  | Some n ->
+      let acc = ref [] in
+      for d = t.base - 1 downto 0 do
+        if n.children.(d) <> None then acc := d :: !acc
+      done;
+      !acc
+
+let ids_with_prefix t ~prefix ~len =
+  match find_prefix t ~prefix ~len with
+  | None -> []
+  | Some n ->
+      let acc = ref [] in
+      let rec collect n =
+        List.iter (fun id -> acc := id :: !acc) n.terminal;
+        Array.iter (function Some c -> collect c | None -> ()) n.children
+      in
+      collect n;
+      !acc
+
+let count_with_prefix t ~prefix ~len =
+  match find_prefix t ~prefix ~len with None -> 0 | Some n -> n.count
+
+let exists_extension t ~prefix ~len ~digit =
+  match find_prefix t ~prefix ~len with
+  | None -> false
+  | Some n -> n.children.(digit) <> None

@@ -1,0 +1,128 @@
+type report = {
+  node : Node.t;
+  surrogate : Node.t;
+  shared_prefix : int;
+  multicast_reached : int;
+  pointers_transferred : int;
+  nn_trace : Nearest_neighbor.trace;
+  cost : Simnet.Cost.t;
+}
+
+type staged = {
+  new_node : Node.t;
+  surrogate : Node.t;
+  shared : int;
+  started : Simnet.Cost.t; (* cost snapshot when the insertion began *)
+  adaptive : bool;
+  mutable reached : Node.t list;
+  mutable transferred : int;
+}
+
+let staged_node s = s.new_node
+
+(* GetPrelimNeighborTable: bulk-copy the surrogate's table entries that share
+   a prefix with the new node, so it can route immediately. *)
+let copy_preliminary_table net ~(new_node : Node.t) ~(surrogate : Node.t) =
+  Network.charge net surrogate new_node;
+  ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:surrogate);
+  Routing_table.iter_entries surrogate.Node.table (fun ~level:_ ~digit:_ e ->
+      match Network.find net e.Routing_table.id with
+      | Some cand when Node.is_alive cand ->
+          ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:cand)
+      | _ -> ())
+
+(* LinkAndXferRoot, run at every alpha-node by the insertion multicast:
+   adopt the new node where it improves or fills the local table, then push
+   any object pointers whose surrogate path now goes through it. *)
+let link_and_xfer_root net ~(new_node : Node.t) ~staged (x : Node.t) =
+  if not (Node_id.equal x.Node.id new_node.Node.id) then begin
+    ignore (Network.offer_link_all_levels net ~owner:x ~candidate:new_node);
+    staged.transferred <-
+      staged.transferred
+      + Maintenance.optimize_through net ~node:x ~next_hop:new_node.Node.id
+  end
+
+let stage_surrogate ?id ?(adaptive = false) net ~gateway ~addr =
+  let cfg = net.Network.config in
+  if not (Node.is_alive gateway) then
+    invalid_arg "Insert.stage_surrogate: dead gateway";
+  let id = match id with Some id -> id | None -> Network.fresh_id net in
+  let new_node = Node.create cfg ~id ~addr in
+  Network.register net new_node;
+  let started = Simnet.Cost.snapshot net.Network.cost in
+  (* 1. AcquirePrimarySurrogate: route from the gateway toward the new ID as
+     if it were an object. *)
+  Network.charge net new_node gateway;
+  let info = Route.route_to_root net ~from:gateway id in
+  let surrogate = info.Route.root in
+  new_node.Node.surrogate_hint <- Some surrogate.Node.id;
+  let shared = Node_id.common_prefix_len id surrogate.Node.id in
+  (* 2. Preliminary table. *)
+  copy_preliminary_table net ~new_node ~surrogate;
+  { new_node; surrogate; shared; started; adaptive; reached = []; transferred = 0 }
+
+let stage_multicast net staged =
+  let cfg = net.Network.config in
+  let { new_node; surrogate; shared; _ } = staged in
+  (* 3. Acknowledged multicast over alpha with LinkAndXferRoot and the
+     Figure 11 watch list (holes the new node still has at levels the
+     multicast recipients can certify). *)
+  let watchlist =
+    Array.init (shared + 1) (fun level ->
+        Array.init cfg.Config.base (fun digit ->
+            Routing_table.is_hole new_node.Node.table ~level ~digit))
+  in
+  let on_watch_hit ~level ~digit:_ (filler : Node.t) =
+    ignore (Network.offer_link net ~owner:new_node ~level ~candidate:filler)
+  in
+  let prefix = Node_id.digits new_node.Node.id in
+  let mcast =
+    Multicast.run ~on_watch_hit ~watchlist net ~start:surrogate ~prefix
+      ~len:shared
+      ~apply:(link_and_xfer_root net ~new_node ~staged)
+  in
+  staged.reached <- mcast.Multicast.reached
+
+let stage_acquire net staged =
+  let { new_node; surrogate; shared; started; adaptive; reached; _ } = staged in
+  (* 4. Optimize the table with the nearest-neighbor descent, seeded by the
+     multicast's alpha list. *)
+  let nn_trace =
+    Nearest_neighbor.acquire_neighbor_table ~adaptive net ~new_node ~surrogate
+      ~initial_list:reached
+  in
+  new_node.Node.status <- Node.Active;
+  let cost = Simnet.Cost.diff (Simnet.Cost.snapshot net.Network.cost) started in
+  {
+    node = new_node;
+    surrogate;
+    shared_prefix = shared;
+    multicast_reached = List.length reached;
+    pointers_transferred = staged.transferred;
+    nn_trace;
+    cost;
+  }
+
+let insert ?id ?adaptive net ~gateway ~addr =
+  let staged = stage_surrogate ?id ?adaptive net ~gateway ~addr in
+  stage_multicast net staged;
+  stage_acquire net staged
+
+let build_incremental ?seed cfg metric ~addrs =
+  let net = Network.create ?seed cfg metric in
+  match addrs with
+  | [] -> (net, [])
+  | first :: rest ->
+      (* Bootstrap node: sole participant, trivially consistent. *)
+      let id = Network.fresh_id net in
+      let bootstrap = Node.create cfg ~id ~addr:first in
+      bootstrap.Node.status <- Node.Active;
+      Network.register net bootstrap;
+      let reports =
+        List.map
+          (fun addr ->
+            let gateway = Network.random_alive net in
+            insert net ~gateway ~addr)
+          rest
+      in
+      (net, reports)

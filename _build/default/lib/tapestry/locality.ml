@@ -1,0 +1,79 @@
+let local_root_idx = 1_000_000
+
+let in_stub net ~same_stub ~(anchor : Node.t) id =
+  match Network.find net id with
+  | Some n -> same_stub anchor.Node.addr n.Node.addr
+  | None -> false
+
+(* Deposit local-branch pointers from [start] to the stub-local surrogate
+   root (routing that never considers out-of-stub entries). *)
+let publish_local_branch net ~same_stub ~(server : Node.t) ~(start : Node.t) guid =
+  let cfg = net.Network.config in
+  let expires = net.Network.clock +. cfg.Config.pointer_ttl in
+  let skip id = not (in_stub net ~same_stub ~anchor:start id) in
+  let _, _, _ =
+    Route.fold_path ~skip net ~from:start guid ~init:None ~f:(fun prev node ->
+        ignore
+          (Pointer_store.store node.Node.pointers ~guid ~server:server.Node.id
+             ~root_idx:local_root_idx ~previous:prev ~expires);
+        `Continue (Some node.Node.id))
+  in
+  ()
+
+let publish net ~same_stub ~server guid =
+  (* Ordinary wide-area publish... *)
+  ignore (Publish.publish net ~server guid);
+  (* ...plus the local branch rooted inside the server's stub. *)
+  publish_local_branch net ~same_stub ~server ~start:server guid
+
+let locate net ~same_stub ~(client : Node.t) guid =
+  let skip id = not (in_stub net ~same_stub ~anchor:client id) in
+  (* Stub-confined walk: stop at the first local pointer whose server is in
+     reach; the walk dead-ends at the stub-local root. *)
+  let usable node =
+    Pointer_store.find_guid (node : Node.t).Node.pointers guid
+    |> List.filter (fun (r : Pointer_store.record) ->
+           r.Pointer_store.expires >= net.Network.clock
+           &&
+           match Network.find net r.Pointer_store.server with
+           | Some s -> Node.is_alive s && Node.stores_replica s guid
+           | None -> false)
+  in
+  let final, found, stopped =
+    Route.fold_path ~skip net ~from:client guid ~init:None ~f:(fun _ node ->
+        match usable node with
+        | [] -> `Continue None
+        | records -> `Stop (Some (node, records)))
+  in
+  ignore final;
+  match (stopped, found) with
+  | true, Some (pointer_node, records) -> (
+      let best =
+        List.fold_left
+          (fun acc (r : Pointer_store.record) ->
+            match Network.find net r.Pointer_store.server with
+            | None -> acc
+            | Some s -> (
+                let d = Network.dist net pointer_node s in
+                match acc with
+                | Some (_, bd) when bd <= d -> acc
+                | _ -> Some (s, d)))
+          None records
+      in
+      match best with
+      | None -> Locate.locate net ~client guid
+      | Some (server, _) ->
+          let reached, _ =
+            if Node_id.equal server.Node.id pointer_node.Node.id then
+              (Some server, [])
+            else Route.route_to_node net ~from:pointer_node server.Node.id
+          in
+          {
+            Locate.server = reached;
+            pointer_node = Some pointer_node;
+            walk = [];
+            redirects = 0;
+          })
+  | _ ->
+      (* Nothing in the stub: resume ordinary wide-area location. *)
+      Locate.locate net ~client guid

@@ -1,0 +1,128 @@
+type result = {
+  server : Node.t option;
+  pointer_node : Node.t option;
+  walk : Node.t list;
+  redirects : int;
+}
+
+(* A pointer is usable if unexpired and its server still serves the object. *)
+let usable_records net (node : Node.t) guid =
+  Pointer_store.find_guid node.Node.pointers guid
+  |> List.filter (fun (r : Pointer_store.record) ->
+         r.expires >= net.Network.clock
+         &&
+         match Network.find net r.server with
+         | Some s -> Node.is_alive s && Node.stores_replica s guid
+         | None -> false)
+
+let closest_server net (node : Node.t) records =
+  List.fold_left
+    (fun acc (r : Pointer_store.record) ->
+      match Network.find net r.server with
+      | None -> acc
+      | Some s -> (
+          let d = Network.dist net node s in
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (s, d)))
+    None records
+  |> Option.map fst
+
+let walk_toward_root ?variant ?exclude net ~from salted guid =
+  Route.fold_path ?variant ?exclude net ~from salted ~init:[]
+    ~f:(fun path node ->
+      let path = node :: path in
+      if usable_records net node guid <> [] then `Stop path else `Continue path)
+
+let rec locate ?variant ?root_idx net ~client guid =
+  let cfg = net.Network.config in
+  let chosen, retries =
+    match root_idx with
+    | Some i -> (i, [])
+    | None ->
+        if cfg.Config.root_set_size = 1 then (0, [])
+        else begin
+          (* Observation 1: with independent roots, failed queries retry on
+             the remaining root-set members *)
+          let first = Simnet.Rng.int net.Network.rng cfg.Config.root_set_size in
+          let others =
+            List.init cfg.Config.root_set_size (fun i -> i)
+            |> List.filter (fun i -> i <> first)
+          in
+          (first, others)
+        end
+  in
+  let root_idx = chosen in
+  let retry () =
+    let rec go = function
+      | [] -> None
+      | i :: rest -> (
+          let res = locate ?variant ~root_idx:i net ~client guid in
+          match res.server with Some _ -> Some res | None -> go rest)
+    in
+    go retries
+  in
+  let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+  let finish (found : Node.t) rev_path redirects =
+    let records = usable_records net found guid in
+    match closest_server net found records with
+    | None -> (
+        match retry () with
+        | Some r -> r
+        | None ->
+            { server = None; pointer_node = None; walk = List.rev rev_path; redirects })
+    | Some server ->
+        (* Route through the mesh to the chosen replica's server. *)
+        let server, _path =
+          if Node_id.equal server.Node.id found.Node.id then (Some server, [])
+          else begin
+            let reached, path = Route.route_to_node net ~from:found server.Node.id in
+            (reached, path)
+          end
+        in
+        {
+          server;
+          pointer_node = Some found;
+          walk = List.rev rev_path;
+          redirects;
+        }
+  in
+  let final, rev_path, stopped = walk_toward_root ?variant net ~from:client salted guid in
+  let fallback res = match retry () with Some r -> r | None -> res in
+  if stopped then finish final rev_path 0
+  else begin
+    match final.Node.status with
+    | Node.Inserting -> (
+        (* Figure 10: the inserting node bounces the request to its
+           pre-insertion surrogate, which routes as if the new node were
+           absent. *)
+        match final.Node.surrogate_hint with
+        | Some hint_id -> (
+            match Network.find net hint_id with
+            | Some hint when Node.is_alive hint ->
+                Network.charge net final hint;
+                let final2, rev2, stopped2 =
+                  walk_toward_root ?variant ~exclude:final.Node.id net ~from:hint
+                    salted guid
+                in
+                if stopped2 then finish final2 (rev2 @ rev_path) 1
+                else
+                  fallback
+                    {
+                      server = None;
+                      pointer_node = None;
+                      walk = List.rev (rev2 @ rev_path);
+                      redirects = 1;
+                    }
+            | _ ->
+                fallback
+                  { server = None; pointer_node = None; walk = List.rev rev_path; redirects = 0 })
+        | None ->
+            fallback
+              { server = None; pointer_node = None; walk = List.rev rev_path; redirects = 0 })
+    | _ ->
+        fallback
+          { server = None; pointer_node = None; walk = List.rev rev_path; redirects = 0 }
+  end
+
+let exists net ~client guid = (locate net ~client guid).server <> None

@@ -1,0 +1,95 @@
+type result = { reached : Node.t list; tree_edges : int }
+
+let run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
+  if not (Node_id.has_prefix (start : Node.t).Node.id ~prefix ~len) then
+    invalid_arg "Multicast.run: start node lacks the prefix";
+  let cfg = net.Network.config in
+  let visited = Node_id.Tbl.create 32 in
+  let reached = ref [] in
+  let edges = ref 0 in
+  (* Watch-list handling (Figure 11): on arrival at a node, scan the watched
+     holes it can certify filled and report the filler. *)
+  let check_watchlist (node : Node.t) =
+    match (watchlist, on_watch_hit) with
+    | Some wl, Some hit ->
+        Array.iteri
+          (fun level row ->
+            Array.iteri
+              (fun digit wanted ->
+                if wanted then begin
+                  match Routing_table.primary node.Node.table ~level ~digit with
+                  | Some e when not (Node_id.equal e.Routing_table.id node.Node.id)
+                    -> (
+                      match Network.find net e.Routing_table.id with
+                      | Some filler when Node.is_alive filler ->
+                          row.(digit) <- false;
+                          hit ~level ~digit filler
+                      | _ -> ())
+                  | Some _ when Node.is_alive node ->
+                      (* the recipient itself fills the hole *)
+                      row.(digit) <- false;
+                      hit ~level ~digit node
+                  | _ -> ()
+                end)
+              row)
+          wl
+    | _ -> ()
+  in
+  (* Recursive descent: at [node] holding the multicast for [prefix] of
+     length [l], forward to one node per one-digit extension. *)
+  let rec descend (node : Node.t) cur_prefix l =
+    if not (Node_id.Tbl.mem visited node.Node.id) then begin
+      Node_id.Tbl.replace visited node.Node.id ();
+      reached := node :: !reached;
+      check_watchlist node;
+      apply node
+    end;
+    if l < cfg.Config.id_digits then begin
+      for j = 0 to cfg.Config.base - 1 do
+        List.iter
+          (fun (next : Node.t) ->
+            if Node_id.equal next.Node.id node.Node.id then begin
+              (* message to self: no network cost, deeper prefix *)
+              let p = Array.copy cur_prefix in
+              p.(l) <- j;
+              descend node p (l + 1)
+            end
+            else if not (Node_id.Tbl.mem visited next.Node.id) then begin
+              incr edges;
+              Network.charge_aside net node next;
+              let p = Array.copy cur_prefix in
+              p.(l) <- j;
+              descend next p (l + 1)
+            end)
+          (pick_targets node ~level:l ~digit:j)
+      done;
+      (* acknowledgment back to the parent *)
+      ()
+    end
+  and pick_targets (node : Node.t) ~level ~digit =
+    (* Pinned pointers (Section 4.4, Lemma 4): entries for nodes that are
+       still inserting are not yet well-connected, so the multicast must be
+       sent to one settled ("unpinned") entry AND every inserting ("pinned")
+       entry — otherwise a tree rooted through a half-joined node misses its
+       siblings. *)
+    let live =
+      List.filter_map
+        (fun (e : Routing_table.entry) ->
+          match Network.find net e.id with
+          | Some n when Node.is_alive n -> Some n
+          | _ -> None)
+        (Routing_table.slot node.Node.table ~level ~digit)
+    in
+    let pinned = List.filter (fun (n : Node.t) -> not (Node.is_core n)) live in
+    match List.find_opt Node.is_core live with
+    | Some settled -> settled :: pinned
+    | None -> pinned
+  in
+  let buf = Array.make cfg.Config.id_digits 0 in
+  Array.blit prefix 0 buf 0 len;
+  descend start buf len;
+  (* Acknowledgments retrace every tree edge (Theorem 5's accounting). *)
+  for _ = 1 to !edges do
+    Simnet.Cost.message net.Network.cost ~dist:0.
+  done;
+  { reached = List.rev !reached; tree_edges = !edges }

@@ -1,0 +1,170 @@
+type trace = {
+  levels_walked : int;
+  nodes_contacted : int;
+  tables_updated : int;
+  holes_backfilled : int;
+}
+
+(* Theorem 4's update rule: every contacted node checks whether the joining
+   node improves its own table. *)
+let add_to_table_if_closer net ~(contacted : Node.t) ~(new_node : Node.t) =
+  Network.offer_link_all_levels net ~owner:contacted ~candidate:new_node > 0
+
+let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list ~k =
+  let candidates = Node_id.Tbl.create 64 in
+  let note (n : Node.t) =
+    if
+      Node.is_alive n
+      && (not (Node_id.equal n.Node.id new_node.Node.id))
+      && Node_id.common_prefix_len n.Node.id new_node.Node.id >= level
+    then Node_id.Tbl.replace candidates n.Node.id n
+  in
+  List.iter
+    (fun (n : Node.t) ->
+      (* round trip: ask n for its forward and backward pointers at [level] *)
+      Network.charge_aside net new_node n;
+      Network.charge_aside net n new_node;
+      if update_tables then
+        ignore (add_to_table_if_closer net ~contacted:n ~new_node);
+      note n;
+      Routing_table.known_at_level n.Node.table ~level
+      |> List.iter (fun id ->
+             match Network.find net id with Some m -> note m | None -> ());
+      Routing_table.backpointers n.Node.table ~level
+      |> List.iter (fun id ->
+             match Network.find net id with Some m -> note m | None -> ()))
+    list;
+  let all = Node_id.Tbl.fold (fun _ n acc -> n :: acc) candidates [] in
+  let keyed =
+    List.map (fun (n : Node.t) -> (Network.dist net new_node n, n)) all
+    |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+  in
+  let rec take i = function
+    | [] -> []
+    | (_, n) :: rest -> if i = 0 then [] else n :: take (i - 1) rest
+  in
+  take k keyed
+
+(* Lemma 2: fill table levels >= [level] from a level list. *)
+let build_table_from_list net ~(new_node : Node.t) list =
+  List.iter
+    (fun (m : Node.t) ->
+      ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:m))
+    list
+
+(* Deterministic backstop for Property 1: probe every still-empty slot at
+   levels up to the surrogate prefix via surrogate routing, which finds a
+   matching node iff one exists (Theorem 2's maximal-prefix property). *)
+let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
+  let cfg = net.Network.config in
+  let filled = ref 0 in
+  for level = 0 to min max_level (cfg.Config.id_digits - 1) do
+    for digit = 0 to cfg.Config.base - 1 do
+      if Routing_table.is_hole new_node.Node.table ~level ~digit then begin
+        let target_digits = Node_id.digits new_node.Node.id in
+        target_digits.(level) <- digit;
+        let target = Node_id.make target_digits in
+        let info = Route.route_to_root net ~from:surrogate target in
+        let root = info.Route.root in
+        if
+          (not (Node_id.equal root.Node.id new_node.Node.id))
+          && Node_id.common_prefix_len root.Node.id target >= level + 1
+        then begin
+          if Network.offer_link net ~owner:new_node ~level ~candidate:root then
+            incr filled;
+          ignore (add_to_table_if_closer net ~contacted:root ~new_node)
+        end
+      end
+    done
+  done;
+  !filled
+
+(* One complete descent at width [k]; returns the trace pieces and the
+   closest node of the final (level 0) list. *)
+let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k ~contacted
+    ~updated =
+  let list =
+    initial_list
+    |> List.filter (fun (m : Node.t) ->
+           Node.is_alive m && not (Node_id.equal m.Node.id new_node.Node.id))
+    |> List.map (fun (m : Node.t) -> (Network.dist net new_node m, m))
+    |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+    |> List.filteri (fun i _ -> i < k)
+    |> List.map snd
+  in
+  build_table_from_list net ~new_node list;
+  List.iter
+    (fun m -> if add_to_table_if_closer net ~contacted:m ~new_node then incr updated)
+    list;
+  let levels = ref 0 in
+  let current = ref list in
+  for level = max_level - 1 downto 0 do
+    incr levels;
+    let next = get_next_list net ~new_node ~level !current ~k in
+    contacted := !contacted + List.length !current;
+    List.iter
+      (fun m -> if add_to_table_if_closer net ~contacted:m ~new_node then incr updated)
+      next;
+    build_table_from_list net ~new_node next;
+    current := next
+  done;
+  (!levels, match !current with m :: _ -> Some m | [] -> None)
+
+let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
+    ~(surrogate : Node.t) ~initial_list =
+  let n = Network.node_count net in
+  let base_k = Config.scaled_k net.Network.config ~n in
+  let max_level = Node_id.common_prefix_len new_node.Node.id surrogate.Node.id in
+  let contacted = ref 0 in
+  let updated = ref 0 in
+  let levels = ref 0 in
+  if not adaptive then begin
+    let l, _ =
+      run_descent net ~new_node ~max_level ~initial_list ~k:base_k ~contacted
+        ~updated
+    in
+    levels := l
+  end
+  else begin
+    (* The dynamic-k variant the paper cites ([14], Section 6.2): start
+       narrow and double the width until the reported nearest neighbor is
+       stable across consecutive widths — robust when the expansion
+       constant is larger than b supports. *)
+    let rec stabilize k prev tries =
+      let l, head =
+        run_descent net ~new_node ~max_level ~initial_list ~k ~contacted ~updated
+      in
+      levels := !levels + l;
+      match (prev, head) with
+      | Some (a : Node.t), Some b when Node_id.equal a.Node.id b.Node.id -> ()
+      | _, head when tries > 0 && 2 * k <= Network.node_count net ->
+          stabilize (2 * k) head (tries - 1)
+      | _ -> ()
+    in
+    stabilize (max 4 (base_k / 4)) None 5
+  end;
+  let holes = fill_holes net ~new_node ~surrogate ~max_level in
+  {
+    levels_walked = !levels;
+    nodes_contacted = !contacted;
+    tables_updated = !updated;
+    holes_backfilled = holes;
+  }
+
+let nearest_neighbor net ~(from : Node.t) =
+  (* Property 2's static solution: the closest entry among the level-0
+     neighbor sets. *)
+  let best = ref None in
+  for digit = 0 to Routing_table.base from.Node.table - 1 do
+    Routing_table.slot from.Node.table ~level:0 ~digit
+    |> List.iter (fun (e : Routing_table.entry) ->
+           if not (Node_id.equal e.id from.Node.id) then
+             match Network.find net e.id with
+             | Some n when Node.is_alive n -> (
+                 let d = Network.dist net from n in
+                 match !best with
+                 | Some (_, bd) when bd <= d -> ()
+                 | _ -> best := Some (n, d))
+             | _ -> ())
+  done;
+  Option.map fst !best

@@ -1,0 +1,241 @@
+type t = {
+  config : Config.t;
+  metric : Simnet.Metric.t;
+  nodes : Node.t Node_id.Tbl.t;
+  index : Id_index.t;
+  rng : Simnet.Rng.t;
+  cost : Simnet.Cost.t;
+  mutable clock : float;
+}
+
+let create ?(seed = 42) config metric =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Network.create: " ^ msg));
+  {
+    config;
+    metric;
+    nodes = Node_id.Tbl.create 64;
+    index = Id_index.create ~base:config.base;
+    rng = Simnet.Rng.create seed;
+    cost = Simnet.Cost.make ();
+    clock = 0.;
+  }
+
+let dist t (a : Node.t) (b : Node.t) = Simnet.Metric.dist t.metric a.addr b.addr
+
+let charge t a b = Simnet.Cost.send t.cost ~dist:(dist t a b)
+
+let charge_aside t a b = Simnet.Cost.message t.cost ~dist:(dist t a b)
+
+let measure t f =
+  let before = Simnet.Cost.snapshot t.cost in
+  let r = f () in
+  (r, Simnet.Cost.diff (Simnet.Cost.snapshot t.cost) before)
+
+let without_charging t f =
+  let s = Simnet.Cost.snapshot t.cost in
+  Fun.protect
+    ~finally:(fun () ->
+      t.cost.Simnet.Cost.messages <- s.Simnet.Cost.messages;
+      t.cost.Simnet.Cost.hops <- s.Simnet.Cost.hops;
+      t.cost.Simnet.Cost.latency <- s.Simnet.Cost.latency)
+    f
+
+let find t id = Node_id.Tbl.find_opt t.nodes id
+
+let find_exn t id =
+  match find t id with
+  | Some n -> n
+  | None -> invalid_arg ("Network.find_exn: unknown node " ^ Node_id.to_string id)
+
+let register t (node : Node.t) =
+  if Node_id.Tbl.mem t.nodes node.id then
+    invalid_arg "Network.register: duplicate node id";
+  if node.addr < 0 || node.addr >= Simnet.Metric.size t.metric then
+    invalid_arg "Network.register: addr outside the metric space";
+  Node_id.Tbl.replace t.nodes node.id node;
+  Id_index.add t.index node.id
+
+let mark_dead t (node : Node.t) =
+  if Node.is_alive node then begin
+    node.status <- Dead;
+    Id_index.remove t.index node.id
+  end
+
+let fold_nodes t f init = Node_id.Tbl.fold (fun _ n acc -> f acc n) t.nodes init
+
+let alive_nodes t =
+  fold_nodes t (fun acc n -> if Node.is_alive n then n :: acc else acc) []
+
+let core_nodes t =
+  fold_nodes t (fun acc n -> if Node.is_core n then n :: acc else acc) []
+
+let node_count t = Id_index.size t.index
+
+let random_alive t =
+  match alive_nodes t with
+  | [] -> invalid_arg "Network.random_alive: no alive node"
+  | ns -> Simnet.Rng.pick_list t.rng ns
+
+let fresh_id t =
+  let rec go tries =
+    if tries > 1000 then failwith "Network.fresh_id: namespace exhausted";
+    let id = Node_id.random ~base:t.config.base ~len:t.config.id_digits t.rng in
+    if Node_id.Tbl.mem t.nodes id then go (tries + 1) else id
+  in
+  go 0
+
+(* --- link maintenance --- *)
+
+let offer_link t ~owner ~level ~candidate =
+  let o = (owner : Node.t) and c = (candidate : Node.t) in
+  if Node_id.equal o.id c.id then false
+  else if Node_id.common_prefix_len o.id c.id < level then false
+  else if
+    (* nodes that announced departure (or died) take no new links: their
+       existing entries are marked "leaving" and serve only in-flight
+       traffic (Section 5.1) *)
+    match c.status with Node.Leaving | Node.Dead -> true | _ -> false
+  then false
+  else begin
+    let d = dist t o c in
+    match Routing_table.consider o.table ~level ~candidate:c.id ~dist:d with
+    | `Rejected | `Known -> false
+    | `Added evicted ->
+        Routing_table.add_backpointer c.table ~level o.id;
+        (match evicted with
+        | Some old_id -> (
+            match find t old_id with
+            | Some old_node ->
+                Routing_table.remove_backpointer old_node.Node.table ~level o.id
+            | None -> ())
+        | None -> ());
+        true
+  end
+
+let offer_link_all_levels t ~owner ~candidate =
+  let o = (owner : Node.t) and c = (candidate : Node.t) in
+  let shared = Node_id.common_prefix_len o.id c.id in
+  let added = ref 0 in
+  for level = 0 to min shared (t.config.id_digits - 1) do
+    if level <= shared && offer_link t ~owner ~level ~candidate then incr added
+  done;
+  !added
+
+let drop_link t ~owner ~target =
+  let o = (owner : Node.t) in
+  let levels = Routing_table.remove o.table target in
+  match find t target with
+  | Some tgt ->
+      List.iter
+        (fun level -> Routing_table.remove_backpointer tgt.Node.table ~level o.id)
+        levels
+  | None -> ()
+
+(* --- verification oracles --- *)
+
+let check_property1 t =
+  let violations = ref [] in
+  let core = core_nodes t in
+  let core_index = Id_index.create ~base:t.config.base in
+  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) core;
+  List.iter
+    (fun (n : Node.t) ->
+      let prefix = Node_id.digits n.id in
+      for level = 0 to t.config.id_digits - 1 do
+        for digit = 0 to t.config.base - 1 do
+          if
+            Routing_table.is_hole n.table ~level ~digit
+            && Id_index.exists_extension core_index ~prefix ~len:level ~digit
+          then violations := (n, level, digit) :: !violations
+        done
+      done)
+    core;
+  !violations
+
+let check_property2 t ~total ~optimal =
+  let core = core_nodes t in
+  let core_index = Id_index.create ~base:t.config.base in
+  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) core;
+  List.iter
+    (fun (n : Node.t) ->
+      let prefix = Node_id.digits n.id in
+      for level = 0 to t.config.id_digits - 1 do
+        for digit = 0 to t.config.base - 1 do
+          if digit <> Node_id.digit n.id level then begin
+            match Routing_table.primary n.table ~level ~digit with
+            | None -> ()
+            | Some prim ->
+                (* True closest (prefix, digit) node by brute force. *)
+                let cands = Id_index.ids_with_prefix core_index ~prefix ~len:level in
+                let cands =
+                  List.filter
+                    (fun id ->
+                      Node_id.digit id level = digit && not (Node_id.equal id n.id))
+                    cands
+                in
+                let best =
+                  List.fold_left
+                    (fun acc id ->
+                      let c = find_exn t id in
+                      let d = dist t n c in
+                      match acc with
+                      | None -> Some (id, d)
+                      | Some (_, bd) -> if d < bd then Some (id, d) else acc)
+                    None cands
+                in
+                (match best with
+                | None -> ()
+                | Some (best_id, best_d) ->
+                    incr total;
+                    let prim_d =
+                      match find t prim.Routing_table.id with
+                      | Some p -> dist t n p
+                      | None -> infinity
+                    in
+                    if Node_id.equal prim.Routing_table.id best_id || prim_d <= best_d
+                    then incr optimal)
+          end
+        done
+      done)
+    core;
+  ()
+
+let true_nearest_neighbor t (node : Node.t) =
+  List.fold_left
+    (fun acc (other : Node.t) ->
+      if Node_id.equal other.id node.id then acc
+      else
+        match acc with
+        | None -> Some other
+        | Some best -> if dist t node other < dist t node best then Some other else acc)
+    None (alive_nodes t)
+
+let surrogate_oracle t guid =
+  (* Digit-by-digit refinement with wrap-around among core nodes; by
+     Theorem 2 this is the unique root surrogate routing must reach. *)
+  let core_index = Id_index.create ~base:t.config.base in
+  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) (core_nodes t);
+  if Id_index.size core_index = 0 then
+    invalid_arg "Network.surrogate_oracle: empty network";
+  let prefix = Array.make t.config.id_digits 0 in
+  let rec refine level =
+    if level = t.config.id_digits then
+      find_exn t (Node_id.make (Array.copy prefix))
+    else begin
+      let want = Node_id.digit guid level in
+      let rec scan tries =
+        if tries = t.config.base then
+          invalid_arg "Network.surrogate_oracle: no extension (corrupt index)"
+        else begin
+          let j = (want + tries) mod t.config.base in
+          if Id_index.exists_extension core_index ~prefix ~len:level ~digit:j then j
+          else scan (tries + 1)
+        end
+      in
+      prefix.(level) <- scan 0;
+      refine (level + 1)
+    end
+  in
+  refine 0

@@ -1,0 +1,95 @@
+(** The simulated Tapestry network: node directory, metric, cost accounting
+    and the link-maintenance primitives shared by all protocol modules.
+
+    Protocol modules ({!Route}, {!Publish}, {!Insert}, ...) act on this
+    container but make decisions only from per-node state (routing tables and
+    pointer stores), charging every simulated message to the ambient
+    {!Simnet.Cost.t}.  Global views (the node directory, the trie index) are
+    reserved for verification oracles, experiment setup and the invariant
+    checkers at the bottom of this interface. *)
+
+type t = {
+  config : Config.t;
+  metric : Simnet.Metric.t;
+  nodes : Node.t Node_id.Tbl.t;
+  index : Id_index.t;  (** oracle: trie over ids of nodes that are not Dead *)
+  rng : Simnet.Rng.t;
+  cost : Simnet.Cost.t;  (** ambient accumulator charged by protocol code *)
+  mutable clock : float;  (** virtual time for soft-state expiry *)
+}
+
+val create : ?seed:int -> Config.t -> Simnet.Metric.t -> t
+
+val dist : t -> Node.t -> Node.t -> float
+
+val charge : t -> Node.t -> Node.t -> unit
+(** One critical-path message between two nodes. *)
+
+val charge_aside : t -> Node.t -> Node.t -> unit
+(** One off-critical-path message (parallel fan-out). *)
+
+val measure : t -> (unit -> 'a) -> 'a * Simnet.Cost.t
+(** Run a thunk and return the cost it charged. *)
+
+val without_charging : t -> (unit -> 'a) -> 'a
+(** Run a thunk and roll back whatever it charged — for verification walks
+    that must not distort experiment accounting. *)
+
+val find : t -> Node_id.t -> Node.t option
+
+val find_exn : t -> Node_id.t -> Node.t
+
+val register : t -> Node.t -> unit
+(** Add a node to the directory and oracle index (it is not yet linked into
+    anyone's routing table). *)
+
+val mark_dead : t -> Node.t -> unit
+(** Flip status to [Dead] and drop from the oracle index.  Routing-table
+    cleanup is the protocols' business ({!Delete}). *)
+
+val alive_nodes : t -> Node.t list
+
+val core_nodes : t -> Node.t list
+
+val node_count : t -> int
+
+val random_alive : t -> Node.t
+(** Uniform random alive node. @raise Invalid_argument if none. *)
+
+val fresh_id : t -> Node_id.t
+(** Random identifier not colliding with a registered node. *)
+
+(** {2 Link maintenance}
+
+    These update both directions of a neighbor link and are the only way
+    protocol code mutates routing tables, so backpointers never drift. *)
+
+val offer_link : t -> owner:Node.t -> level:int -> candidate:Node.t -> bool
+(** Offer [candidate] for [owner]'s table at [level] (Property 2
+    maintenance).  Returns true if it was added.  No-op unless the IDs share
+    at least [level] digits; [Leaving] and [Dead] candidates are refused
+    (Section 5.1: departing nodes take no new links). *)
+
+val offer_link_all_levels : t -> owner:Node.t -> candidate:Node.t -> int
+(** Offer at every level the two IDs share; returns how many levels added. *)
+
+val drop_link : t -> owner:Node.t -> target:Node_id.t -> unit
+(** Remove [target] from [owner]'s table and fix backpointers. *)
+
+(** {2 Verification oracles (tests and experiments only)} *)
+
+val check_property1 : t -> (Node.t * int * int) list
+(** Violations of Property 1 (consistency): core nodes with an empty slot
+    for which a matching core node exists.  Empty list = consistent. *)
+
+val check_property2 : t -> total:int ref -> optimal:int ref -> unit
+(** Locality quality: over every non-empty slot of every core node, counts
+    slots whose primary is the true closest matching node. *)
+
+val true_nearest_neighbor : t -> Node.t -> Node.t option
+(** Brute-force closest other alive node (oracle for E3). *)
+
+val surrogate_oracle : t -> Node_id.t -> Node.t
+(** The root {!Route.route_to_root} must find, computed from global
+    knowledge: successively refine by digit with wrap-around among core
+    nodes.  Mirrors Tapestry-native surrogate semantics. *)

@@ -1,0 +1,87 @@
+type t = { d : int array; h : int }
+
+(* Digits use the 0-9 then a-v alphabet, covering radices up to 32. *)
+let alphabet = "0123456789abcdefghijklmnopqrstuv"
+
+let compute_hash d =
+  Array.fold_left (fun acc x -> (acc * 131) + x + 1) 5381 d land max_int
+
+let make d = { d; h = compute_hash d }
+
+let random ~base ~len rng = make (Array.init len (fun _ -> Simnet.Rng.int rng base))
+
+let to_string t =
+  String.init (Array.length t.d) (fun i -> alphabet.[t.d.(i)])
+
+let of_string ~base s =
+  let parse c =
+    let v = String.index_opt alphabet c in
+    match v with
+    | Some v when v < base -> v
+    | _ -> invalid_arg (Printf.sprintf "Node_id.of_string: bad digit %c" c)
+  in
+  make (Array.init (String.length s) (fun i -> parse s.[i]))
+
+let length t = Array.length t.d
+
+let digit t i = t.d.(i)
+
+let digits t = Array.copy t.d
+
+let equal a b = a.h = b.h && a.d = b.d
+
+let compare a b = Stdlib.compare a.d b.d
+
+let hash t = t.h
+
+let common_prefix_len a b =
+  let n = min (Array.length a.d) (Array.length b.d) in
+  let rec go i = if i < n && a.d.(i) = b.d.(i) then go (i + 1) else i in
+  go 0
+
+let has_prefix t ~prefix ~len =
+  Array.length t.d >= len
+  &&
+  let rec go i = i >= len || (t.d.(i) = prefix.(i) && go (i + 1)) in
+  go 0
+
+let prefix t n = Array.sub t.d 0 n
+
+let salt ~base t i =
+  if i = 0 then t
+  else begin
+    (* Derive psi_i by mixing the salt index through a splitmix stream seeded
+       from the digits; deterministic wherever it is evaluated (Property 3). *)
+    let seed = Array.fold_left (fun acc x -> (acc * 8191) + x + i) (i * 7919) t.d in
+    let rng = Simnet.Rng.create seed in
+    make (Array.init (Array.length t.d) (fun _ -> Simnet.Rng.int rng base))
+  end
+
+let to_int ~base t =
+  (* Read digits most-significant first. *)
+  Array.fold_left (fun acc x -> (acc * base) + x) 0 t.d
+
+let of_int ~base ~len v =
+  let d = Array.make len 0 in
+  let rec go i v =
+    if i >= 0 then begin
+      d.(i) <- v mod base;
+      go (i - 1) (v / base)
+    end
+  in
+  go (len - 1) v;
+  make d
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let compare = compare
+
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Stdlib.Set.Make (Key)
+module Map = Stdlib.Map.Make (Key)

@@ -1,0 +1,59 @@
+(** Identifiers: strings of digits in radix [b].
+
+    Both node-IDs and object GUIDs are represented this way (Section 2);
+    identifiers are uniformly distributed in the namespace.  Digits are
+    indexed from 0 (most significant), so [digit id 0] is the first digit
+    resolved when routing. *)
+
+type t
+
+val make : int array -> t
+(** Takes ownership of the array; digits must already be in range. *)
+
+val random : base:int -> len:int -> Simnet.Rng.t -> t
+
+val of_string : base:int -> string -> t
+(** Parse from the {!to_string} representation (digit characters 0-9a-v).
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val length : t -> int
+
+val digit : t -> int -> int
+(** [digit id i] is the i-th digit, 0-indexed from the most significant. *)
+
+val digits : t -> int array
+(** Fresh copy of the digit array. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val common_prefix_len : t -> t -> int
+(** Length of the greatest common prefix, in digits. *)
+
+val has_prefix : t -> prefix:int array -> len:int -> bool
+(** Do the first [len] digits equal [prefix.(0..len-1)]? *)
+
+val prefix : t -> int -> int array
+(** First [n] digits as a fresh array. *)
+
+val salt : base:int -> t -> int -> t
+(** [salt ~base id i] deterministically maps [id] to the i-th member of its
+    root set (Observation 2: a pseudo-random function from the GUID to
+    identifiers psi_0, psi_1, ...).  [salt ~base id 0 = id]. *)
+
+val to_int : base:int -> t -> int
+(** The identifier read as a radix-[b] integer (used by the Chord baseline
+    to place Tapestry-style IDs on its ring).  Must fit in an OCaml int. *)
+
+val of_int : base:int -> len:int -> int -> t
+
+module Tbl : Hashtbl.S with type key = t
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

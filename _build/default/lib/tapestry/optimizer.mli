@@ -1,0 +1,40 @@
+(** Continual optimization (Section 6.4).
+
+    When underlying network distances change (BGP reconfiguration, policy
+    shifts, router failures), the locally optimal routes cached in routing
+    tables go stale.  The paper sketches four escalating heuristics; all are
+    implemented here and compared in the ablation experiment E14:
+
+    - {!rotate_primaries}: re-measure each slot's R entries and promote the
+      now-closest one (the paper's "adjust which of these neighbors is the
+      primary");
+    - {!share_tables}: each node ships its level-i table to its level-i
+      neighbors, who re-measure and adopt closer entries (the paper's
+      "local sharing of information");
+    - {!rebuild_level}: rebuild one table level from the level-(i+1)
+      neighbors via one GetNextList step (the paper's "optimize one level
+      at a time" using the recorded contact sets);
+    - {!full_rebuild}: periodic repetition of the complete nearest-neighbor
+      algorithm.
+
+    Every heuristic finishes by re-routing the object pointers whose first
+    hop changed (Section 4.2), so Property 4 follows the new routes. *)
+
+type stats = {
+  nodes_touched : int;
+  primaries_changed : int;
+  pointers_moved : int;
+  cost : Simnet.Cost.t;  (** total maintenance traffic *)
+}
+
+val rotate_primaries : Network.t -> stats
+(** Cheapest: per slot, ping the existing R entries and re-sort. *)
+
+val share_tables : Network.t -> stats
+(** Medium: gossip each level's entries to same-level neighbors. *)
+
+val rebuild_level : Network.t -> level:int -> stats
+(** Rebuild one level everywhere from level-(+1) contacts. *)
+
+val full_rebuild : Network.t -> stats
+(** Most thorough: re-run the Section 3 acquisition for every node. *)

@@ -1,0 +1,81 @@
+type record = {
+  guid : Node_id.t;
+  server : Node_id.t;
+  root_idx : int;
+  mutable previous : Node_id.t option;
+  mutable expires : float;
+}
+
+module Key = struct
+  type t = Node_id.t * Node_id.t * int
+
+  let equal (g1, s1, r1) (g2, s2, r2) =
+    r1 = r2 && Node_id.equal g1 g2 && Node_id.equal s1 s2
+
+  let hash (g, s, r) = (((Node_id.hash g * 31) + Node_id.hash s) * 31) + r
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = { recs : record Tbl.t }
+
+let create () = { recs = Tbl.create 16 }
+
+let store t ~guid ~server ~root_idx ~previous ~expires =
+  match Tbl.find_opt t.recs (guid, server, root_idx) with
+  | Some r ->
+      let old = r.previous in
+      r.previous <- previous;
+      r.expires <- max r.expires expires;
+      `Refreshed old
+  | None ->
+      Tbl.replace t.recs (guid, server, root_idx)
+        { guid; server; root_idx; previous; expires };
+      `New
+
+let find t ~guid ~server ~root_idx = Tbl.find_opt t.recs (guid, server, root_idx)
+
+let find_guid t guid =
+  Tbl.fold
+    (fun (g, _, _) r acc -> if Node_id.equal g guid then r :: acc else acc)
+    t.recs []
+
+let mem_guid t guid =
+  try
+    Tbl.iter (fun (g, _, _) _ -> if Node_id.equal g guid then raise Exit) t.recs;
+    false
+  with Exit -> true
+
+let remove t ~guid ~server ~root_idx =
+  if Tbl.mem t.recs (guid, server, root_idx) then begin
+    Tbl.remove t.recs (guid, server, root_idx);
+    true
+  end
+  else false
+
+let remove_guid t guid =
+  let victims =
+    Tbl.fold
+      (fun (g, s, r) _ acc -> if Node_id.equal g guid then (g, s, r) :: acc else acc)
+      t.recs []
+  in
+  List.iter (Tbl.remove t.recs) victims;
+  List.length victims
+
+let guids t =
+  let seen = Node_id.Tbl.create 16 in
+  Tbl.iter (fun (g, _, _) _ -> Node_id.Tbl.replace seen g ()) t.recs;
+  Node_id.Tbl.fold (fun g () acc -> g :: acc) seen []
+
+let records t = Tbl.fold (fun _ r acc -> r :: acc) t.recs []
+
+let size t = Tbl.length t.recs
+
+let expire t ~now =
+  let victims =
+    Tbl.fold
+      (fun key r acc -> if r.expires < now then key :: acc else acc)
+      t.recs []
+  in
+  List.iter (Tbl.remove t.recs) victims;
+  List.length victims

@@ -1,0 +1,46 @@
+(** Soft-state object pointers held at a node.
+
+    Unlike PRR, Tapestry keeps a pointer for {e every} copy of an object
+    (Section 2.4), so records are keyed by [(guid, server)].  Each record
+    carries the last-hop node that forwarded the publish (the "previous"
+    pointer Figure 9 requires) and an expiry time; pointers not refreshed by
+    a republish disappear (Section 2.2, soft state). *)
+
+type record = {
+  guid : Node_id.t;
+  server : Node_id.t;
+  root_idx : int;  (** which member of the root set this path serves (Observation 2) *)
+  mutable previous : Node_id.t option;  (** last hop toward the server; [None] at the server itself *)
+  mutable expires : float;
+}
+
+type t
+
+val create : unit -> t
+
+val store : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int ->
+  previous:Node_id.t option -> expires:float ->
+  [ `New | `Refreshed of Node_id.t option ]
+(** Insert or refresh; on refresh returns the old [previous] hop and
+    overwrites it with the new one. *)
+
+val find : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int -> record option
+
+val find_guid : t -> Node_id.t -> record list
+(** All live replica pointers for a GUID. *)
+
+val mem_guid : t -> Node_id.t -> bool
+
+val remove : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int -> bool
+
+val remove_guid : t -> Node_id.t -> int
+
+val guids : t -> Node_id.t list
+(** Distinct GUIDs with at least one record. *)
+
+val records : t -> record list
+
+val size : t -> int
+
+val expire : t -> now:float -> int
+(** Drop records whose expiry passed; returns how many were dropped. *)

@@ -1,0 +1,70 @@
+type outcome = { roots : Node.t list; path_lengths : int list }
+
+let deposit net (node : Node.t) ~guid ~server_id ~root_idx ~previous =
+  let expires = net.Network.clock +. net.Network.config.Config.pointer_ttl in
+  ignore
+    (Pointer_store.store node.Node.pointers ~guid ~server:server_id ~root_idx
+       ~previous ~expires)
+
+let walk_one_root ?variant ?(on_secondaries = false) net ~(server : Node.t) guid
+    ~root_idx =
+  let cfg = net.Network.config in
+  let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+  (* Fold along the root path, depositing a pointer at every node. *)
+  let root, (_, hops), _ =
+    Route.fold_path ?variant net ~from:server salted ~init:(None, 0)
+      ~f:(fun (prev, hops) node ->
+        deposit net node ~guid ~server_id:server.Node.id ~root_idx ~previous:prev;
+        if on_secondaries then begin
+          (* PRR-style: the pointer also lands on the secondaries of the slot
+             about to be crossed; approximate by offering to every secondary
+             this node knows at the level just resolved. *)
+          let level = min (hops) (cfg.Config.id_digits - 1) in
+          let digit = Node_id.digit salted level in
+          Routing_table.slot node.Node.table ~level ~digit
+          |> List.iter (fun (e : Routing_table.entry) ->
+                 match Network.find net e.id with
+                 | Some sec
+                   when Node.is_alive sec
+                        && not (Node_id.equal sec.Node.id node.Node.id) ->
+                     Network.charge_aside net node sec;
+                     deposit net sec ~guid ~server_id:server.Node.id ~root_idx
+                       ~previous:(Some node.Node.id)
+                 | _ -> ())
+        end;
+        `Continue (Some node.Node.id, hops + 1))
+  in
+  (root, hops - 1)
+
+let publish ?variant ?on_secondaries net ~server guid =
+  Node.add_replica server guid;
+  let cfg = net.Network.config in
+  let results =
+    List.init cfg.Config.root_set_size (fun root_idx ->
+        walk_one_root ?variant ?on_secondaries net ~server guid ~root_idx)
+  in
+  { roots = List.map fst results; path_lengths = List.map snd results }
+
+let republish ?variant net ~server guid =
+  let cfg = net.Network.config in
+  let results =
+    List.init cfg.Config.root_set_size (fun root_idx ->
+        walk_one_root ?variant net ~server guid ~root_idx)
+  in
+  { roots = List.map fst results; path_lengths = List.map snd results }
+
+let unpublish ?variant net ~(server : Node.t) guid =
+  let cfg = net.Network.config in
+  Node.remove_replica server guid;
+  for root_idx = 0 to cfg.Config.root_set_size - 1 do
+    let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+    let _, _, _ =
+      Route.fold_path ?variant net ~from:server salted ~init:()
+        ~f:(fun () node ->
+          ignore
+            (Pointer_store.remove node.Node.pointers ~guid ~server:server.Node.id
+               ~root_idx);
+          `Continue ())
+    in
+    ()
+  done

@@ -1,0 +1,34 @@
+(** Object publication (Section 2.2, Figure 2).
+
+    A storage server announces a replica by routing a publish message toward
+    each root in the object's root set; every node on the way — root
+    included — deposits an object pointer [(guid, server)] recording the
+    last hop, so later queries walking toward the root intersect the publish
+    path (Theorem 1).  Pointers are soft state: they expire [pointer_ttl]
+    after the publish unless refreshed by {!republish}. *)
+
+type outcome = {
+  roots : Node.t list;  (** surrogate root reached for each root index *)
+  path_lengths : int list;  (** hops from server to each root *)
+}
+
+val publish :
+  ?variant:Route.variant ->
+  ?on_secondaries:bool ->
+  Network.t ->
+  server:Node.t ->
+  Node_id.t ->
+  outcome
+(** Publish a replica of the GUID stored at [server].  The server is
+    recorded as holding the replica.  With [on_secondaries] (the PRR-style
+    deployment of Section 2.4), each hop also deposits the pointer on the
+    secondary neighbors of the slot it traverses, at extra message cost. *)
+
+val republish :
+  ?variant:Route.variant -> Network.t -> server:Node.t -> Node_id.t -> outcome
+(** Re-walk the publish paths, refreshing expiry and last-hop pointers.
+    Identical mechanics to {!publish} minus the replica registration. *)
+
+val unpublish : ?variant:Route.variant -> Network.t -> server:Node.t -> Node_id.t -> unit
+(** Delete this server's pointers along its current publish paths and drop
+    the replica. *)

@@ -1,0 +1,160 @@
+type variant = Native | Prr_like
+
+type info = { root : Node.t; path : Node.t list; surrogate_hops : int }
+
+let default_on_dead net ~owner ~dead = Network.drop_link net ~owner ~target:dead
+
+(* Pick the first alive entry of a slot, lazily purging dead ones (each purge
+   costs a probe message: the paper's timeout-based failure detection). *)
+let rec first_alive net on_dead skip (owner : Node.t) ~level ~digit =
+  match
+    List.find_opt
+      (fun (e : Routing_table.entry) -> not (skip e.id))
+      (Routing_table.slot owner.Node.table ~level ~digit)
+  with
+  | None -> None
+  | Some e -> (
+      match Network.find net e.Routing_table.id with
+      | Some n when Node.is_alive n -> Some n
+      | _ ->
+          Simnet.Cost.message net.Network.cost ~dist:0.;
+          on_dead net ~owner ~dead:e.Routing_table.id;
+          (* ensure progress even if on_dead did not remove the entry *)
+          ignore (Routing_table.remove owner.Node.table e.Routing_table.id);
+          first_alive net on_dead skip owner ~level ~digit)
+
+(* Most-significant-bit agreement between two digits, used by the PRR-like
+   variant's first-hole rule. *)
+let msb_agreement ~base a b =
+  let bits =
+    let rec count v acc = if v <= 1 then acc else count (v lsr 1) (acc + 1) in
+    count base 0
+  in
+  let rec go i acc =
+    if i < 0 then acc
+    else if (a lsr i) land 1 = (b lsr i) land 1 then go (i - 1) (acc + 1)
+    else acc
+  in
+  go (bits - 1) 0
+
+type walk_state = { mutable hole_seen : bool; mutable surrogate_hops : int }
+
+(* Choose the next node at [level]; None means every slot at this level is
+   empty of alive nodes (impossible while the owner is alive, since it
+   occupies its own slot). *)
+let choose_next net on_dead skip variant state (node : Node.t) guid ~level =
+  let base = Routing_table.base node.Node.table in
+  let want = Node_id.digit guid level in
+  let alive_at digit = first_alive net on_dead skip node ~level ~digit in
+  match variant with
+  | Native ->
+      let rec scan tries =
+        if tries = base then None
+        else begin
+          let j = (want + tries) mod base in
+          match alive_at j with
+          | Some n ->
+              if tries > 0 then state.hole_seen <- true;
+              Some n
+          | None -> scan (tries + 1)
+        end
+      in
+      scan 0
+  | Prr_like ->
+      if not state.hole_seen then begin
+        match alive_at want with
+        | Some n -> Some n
+        | None ->
+            (* First hole: best most-significant-bit agreement, ties to the
+               numerically higher digit. *)
+            state.hole_seen <- true;
+            let best = ref None in
+            for j = 0 to base - 1 do
+              match alive_at j with
+              | None -> ()
+              | Some n ->
+                  let score = (msb_agreement ~base want j, j) in
+                  (match !best with
+                  | Some (s, _) when s >= score -> ()
+                  | _ -> best := Some (score, n))
+            done;
+            Option.map snd !best
+      end
+      else begin
+        (* After the first hole: numerically highest filled digit. *)
+        let rec scan j =
+          if j < 0 then None
+          else match alive_at j with Some n -> Some n | None -> scan (j - 1)
+        in
+        scan (base - 1)
+      end
+
+let walk_internal variant on_dead skip net ~from guid ~init ~f =
+  let digits = net.Network.config.Config.id_digits in
+  let state = { hole_seen = false; surrogate_hops = 0 } in
+  let rec walk (node : Node.t) level acc =
+    if level >= digits then (node, acc, false, state.surrogate_hops)
+    else
+      match choose_next net on_dead skip variant state node guid ~level with
+      | None -> (node, acc, false, state.surrogate_hops)
+      | Some next ->
+          if Node_id.equal next.Node.id node.Node.id then walk node (level + 1) acc
+          else begin
+            Network.charge net node next;
+            if state.hole_seen then
+              state.surrogate_hops <- state.surrogate_hops + 1;
+            match f acc next with
+            | `Stop acc -> (next, acc, true, state.surrogate_hops)
+            | `Continue acc -> walk next (level + 1) acc
+          end
+  in
+  match f init from with
+  | `Stop acc -> (from, acc, true, 0)
+  | `Continue acc -> walk from 0 acc
+
+let resolve_skip exclude skip =
+  match (exclude, skip) with
+  | Some x, None -> fun id -> Node_id.equal x id
+  | None, Some p -> p
+  | None, None -> fun _ -> false
+  | Some x, Some p -> fun id -> Node_id.equal x id || p id
+
+let fold_path ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip net
+    ~from guid ~init ~f =
+  let node, acc, stopped, _ =
+    walk_internal variant on_dead (resolve_skip exclude skip) net ~from guid ~init ~f
+  in
+  (node, acc, stopped)
+
+let route_to_root ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip
+    net ~from guid =
+  let root, rev_path, _, surrogate_hops =
+    walk_internal variant on_dead (resolve_skip exclude skip) net ~from guid
+      ~init:[] ~f:(fun path node -> `Continue (node :: path))
+  in
+  { root; path = List.rev rev_path; surrogate_hops }
+
+let route_to_node ?on_dead ?exclude ?skip net ~from target_id =
+  let final, rev_path, _ =
+    fold_path ?on_dead ?exclude ?skip net ~from target_id ~init:[]
+      ~f:(fun path node ->
+        let path = node :: path in
+        if Node_id.equal node.Node.id target_id then `Stop path else `Continue path)
+  in
+  let path = List.rev rev_path in
+  if Node_id.equal final.Node.id target_id then (Some final, path) else (None, path)
+
+let peek_first_hop ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip
+    net (node : Node.t) guid =
+  let digits = net.Network.config.Config.id_digits in
+  let state = { hole_seen = false; surrogate_hops = 0 } in
+  let skip = resolve_skip exclude skip in
+  let rec go level =
+    if level >= digits then None
+    else
+      match choose_next net on_dead skip variant state node guid ~level with
+      | None -> None
+      | Some next ->
+          if Node_id.equal next.Node.id node.Node.id then go (level + 1) else Some next
+  in
+  go 0

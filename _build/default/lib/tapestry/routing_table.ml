@@ -1,0 +1,177 @@
+type entry = { id : Node_id.t; dist : float }
+
+type t = {
+  owner : Node_id.t;
+  redundancy : int;
+  base : int;
+  slots : entry list array array; (* slots.(level).(digit), ascending dist *)
+  backs : unit Node_id.Tbl.t array; (* backpointers per level *)
+}
+
+let create (cfg : Config.t) ~owner =
+  let slots = Array.init cfg.id_digits (fun _ -> Array.make cfg.base []) in
+  let backs = Array.init cfg.id_digits (fun _ -> Node_id.Tbl.create 8) in
+  (* The owner fills its own digit slot at every level. *)
+  for l = 0 to cfg.id_digits - 1 do
+    slots.(l).(Node_id.digit owner l) <- [ { id = owner; dist = 0. } ]
+  done;
+  { owner; redundancy = cfg.redundancy; base = cfg.base; slots; backs }
+
+let owner t = t.owner
+
+let levels t = Array.length t.slots
+
+let base t = t.base
+
+let slot t ~level ~digit = t.slots.(level).(digit)
+
+let primary t ~level ~digit =
+  match t.slots.(level).(digit) with [] -> None | e :: _ -> Some e
+
+let is_hole t ~level ~digit = t.slots.(level).(digit) = []
+
+let insert_sorted e l =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest -> if e.dist < x.dist then e :: x :: rest else x :: go rest
+  in
+  go l
+
+let consider t ~level ~candidate ~dist =
+  if Node_id.equal candidate t.owner then `Known
+  else begin
+    let digit = Node_id.digit candidate level in
+    let cur = t.slots.(level).(digit) in
+    if List.exists (fun e -> Node_id.equal e.id candidate) cur then begin
+      (* Refresh the recorded distance (it may have been estimated). *)
+      let cur = List.filter (fun e -> not (Node_id.equal e.id candidate)) cur in
+      t.slots.(level).(digit) <- insert_sorted { id = candidate; dist } cur;
+      `Known
+    end
+    else begin
+      let updated = insert_sorted { id = candidate; dist } cur in
+      if List.length updated <= t.redundancy then begin
+        t.slots.(level).(digit) <- updated;
+        `Added None
+      end
+      else begin
+        (* Drop the farthest; if that is the candidate itself, reject. *)
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+          | [] -> assert false
+        in
+        let kept, last = split_last [] updated in
+        if Node_id.equal last.id candidate then `Rejected
+        else begin
+          t.slots.(level).(digit) <- kept;
+          `Added (Some last.id)
+        end
+      end
+    end
+  end
+
+let update_distances t ~measure =
+  let changed = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun digit entries ->
+          match entries with
+          | [] -> ()
+          | old_primary :: _ ->
+              let remeasured =
+                List.filter_map
+                  (fun e ->
+                    if Node_id.equal e.id t.owner then Some { e with dist = 0. }
+                    else
+                      match measure e.id with
+                      | Some d -> Some { e with dist = d }
+                      | None -> None)
+                  entries
+              in
+              let sorted = List.sort (fun a b -> compare a.dist b.dist) remeasured in
+              row.(digit) <- sorted;
+              (match sorted with
+              | p :: _ when not (Node_id.equal p.id old_primary.id) -> incr changed
+              | [] -> incr changed
+              | _ -> ()))
+        row)
+    t.slots;
+  !changed
+
+let remove t target =
+  if Node_id.equal target t.owner then []
+  else begin
+    let found = ref [] in
+    Array.iteri
+      (fun l row ->
+        let digit = Node_id.digit target l in
+        if digit < Array.length row then begin
+          let cur = row.(digit) in
+          if List.exists (fun e -> Node_id.equal e.id target) cur then begin
+            row.(digit) <- List.filter (fun e -> not (Node_id.equal e.id target)) cur;
+            found := l :: !found
+          end
+        end)
+      t.slots;
+    List.rev !found
+  end
+
+let add_backpointer t ~level id =
+  if not (Node_id.equal id t.owner) then
+    Node_id.Tbl.replace t.backs.(level) id ()
+
+let remove_backpointer t ~level id = Node_id.Tbl.remove t.backs.(level) id
+
+let backpointers t ~level =
+  Node_id.Tbl.fold (fun id () acc -> id :: acc) t.backs.(level) []
+
+let all_backpointers t =
+  let acc = ref [] in
+  Array.iteri
+    (fun l tbl -> Node_id.Tbl.iter (fun id () -> acc := (l, id) :: !acc) tbl)
+    t.backs;
+  !acc
+
+let known_at_level t ~level =
+  let seen = Node_id.Tbl.create 16 in
+  Array.iter
+    (List.iter (fun e ->
+         if not (Node_id.equal e.id t.owner) then Node_id.Tbl.replace seen e.id ()))
+    t.slots.(level);
+  Node_id.Tbl.fold (fun id () acc -> id :: acc) seen []
+
+let iter_entries t f =
+  Array.iteri
+    (fun level row ->
+      Array.iteri (fun digit es -> List.iter (fun e -> f ~level ~digit e) es) row)
+    t.slots
+
+let entry_count t =
+  let c = ref 0 in
+  iter_entries t (fun ~level:_ ~digit:_ e ->
+      if not (Node_id.equal e.id t.owner) then incr c);
+  !c
+
+let holes t =
+  let acc = ref [] in
+  Array.iteri
+    (fun level row ->
+      Array.iteri (fun digit es -> if es = [] then acc := (level, digit) :: !acc) row)
+    t.slots;
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>table of %s:@," (Node_id.to_string t.owner);
+  Array.iteri
+    (fun level row ->
+      let cells =
+        Array.to_list row
+        |> List.concat_map (fun es ->
+               List.map (fun e -> Node_id.to_string e.id) es)
+      in
+      if cells <> [] then
+        Format.fprintf ppf "  L%d: %s@," (level + 1) (String.concat " " cells))
+    t.slots;
+  Format.fprintf ppf "@]"

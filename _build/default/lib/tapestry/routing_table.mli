@@ -1,0 +1,73 @@
+(** Per-node routing mesh state: neighbor sets and backpointers.
+
+    A slot [(l, j)] (level l+1, digit j in the paper's numbering) holds the
+    neighbor set N_{alpha,j} where alpha is the first [l] digits of the
+    owner's ID: up to R nodes whose IDs share alpha and have j as their next
+    digit, ordered by network distance (Property 2).  The closest is the
+    primary, the rest secondaries.  If fewer than R such nodes are stored,
+    the set must contain every (alpha, j) node in the system (Property 1 —
+    an empty slot is a "hole" certifying that no such node exists).
+
+    The owner itself appears in its own slot at every level with distance 0,
+    which makes routing and multicast uniform.  Backpointers record, per
+    level, which nodes hold this node in their table (Section 2.1). *)
+
+type entry = { id : Node_id.t; dist : float }
+
+type t
+
+val create : Config.t -> owner:Node_id.t -> t
+(** Fresh table containing only the owner itself. *)
+
+val owner : t -> Node_id.t
+
+val levels : t -> int
+
+val base : t -> int
+
+val slot : t -> level:int -> digit:int -> entry list
+(** Ascending by distance.  [level] is the shared-prefix length (0-based). *)
+
+val primary : t -> level:int -> digit:int -> entry option
+
+val is_hole : t -> level:int -> digit:int -> bool
+
+val consider : t -> level:int -> candidate:Node_id.t -> dist:float ->
+  [ `Added of Node_id.t option | `Rejected | `Known ]
+(** Offer a candidate for the slot its digit selects at [level].  Keeps the
+    R closest; on success returns the evicted entry (whose backpointer must
+    be dropped), [`Known] if already present (distance refreshed), and
+    [`Rejected] if the slot is full of closer nodes.  The caller must verify
+    the candidate actually shares [level] digits with the owner. *)
+
+val update_distances : t -> measure:(Node_id.t -> float option) -> int
+(** Re-measure every entry ([None] drops it) and re-sort each slot; returns
+    the number of slots whose primary changed.  The mechanism behind the
+    Section 6.4 primary-rotation heuristic. *)
+
+val remove : t -> Node_id.t -> int list
+(** Remove a node everywhere it appears; returns the levels it was found at. *)
+
+val add_backpointer : t -> level:int -> Node_id.t -> unit
+
+val remove_backpointer : t -> level:int -> Node_id.t -> unit
+
+val backpointers : t -> level:int -> Node_id.t list
+
+val all_backpointers : t -> (int * Node_id.t) list
+
+val known_at_level : t -> level:int -> Node_id.t list
+(** Every distinct node in any slot of [level] — i.e. all forward pointers
+    to nodes sharing [level] digits (used by GETNEXTLIST together with
+    {!backpointers}).  Excludes the owner. *)
+
+val iter_entries : t -> (level:int -> digit:int -> entry -> unit) -> unit
+
+val entry_count : t -> int
+(** Total neighbor entries excluding the owner's self entries (space
+    accounting for Table 1). *)
+
+val holes : t -> (int * int) list
+(** All empty slots as [(level, digit)] pairs. *)
+
+val pp : Format.formatter -> t -> unit

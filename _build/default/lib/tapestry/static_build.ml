@@ -1,0 +1,49 @@
+let populate_links net =
+  let nodes = Array.of_list (Network.alive_nodes net) in
+  let n = Array.length nodes in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        ignore
+          (Network.offer_link_all_levels net ~owner:nodes.(i) ~candidate:nodes.(j))
+    done
+  done
+
+let build ?seed cfg metric ~addrs =
+  let net = Network.create ?seed cfg metric in
+  List.iter
+    (fun addr ->
+      let id = Network.fresh_id net in
+      let node = Node.create cfg ~id ~addr in
+      node.Node.status <- Node.Active;
+      Network.register net node)
+    addrs;
+  Network.without_charging net (fun () -> populate_links net);
+  net
+
+let table_quality net ~oracle =
+  let total = ref 0 and matched = ref 0 in
+  List.iter
+    (fun (onode : Node.t) ->
+      match Network.find net onode.Node.id with
+      | None -> ()
+      | Some node ->
+          let levels = Routing_table.levels onode.Node.table in
+          let base = Routing_table.base onode.Node.table in
+          for level = 0 to levels - 1 do
+            for digit = 0 to base - 1 do
+              if digit <> Node_id.digit onode.Node.id level then begin
+                match Routing_table.primary onode.Node.table ~level ~digit with
+                | None -> ()
+                | Some oracle_prim ->
+                    incr total;
+                    (match Routing_table.primary node.Node.table ~level ~digit with
+                    | None -> ()
+                    | Some prim ->
+                        if prim.Routing_table.dist <= oracle_prim.Routing_table.dist +. 1e-9
+                        then incr matched)
+              end
+            done
+          done)
+    (Network.alive_nodes oracle);
+  if !total = 0 then 1.0 else float_of_int !matched /. float_of_int !total

@@ -1,0 +1,22 @@
+(** Oracle construction of a perfect Tapestry network.
+
+    Builds, by global brute force, the network that the PRR preprocessing
+    step would produce: every slot of every node holds exactly the R closest
+    matching nodes (Properties 1 and 2 exactly, not just with high
+    probability).  Experiments use it as the ground truth that incremental
+    construction is measured against (E11) and as a fast setup path. *)
+
+val build :
+  ?seed:int -> Config.t -> Simnet.Metric.t -> addrs:int list -> Network.t
+(** One active node per metric point in [addrs], random distinct IDs,
+    perfect tables with symmetric backpointers. *)
+
+val populate_links : Network.t -> unit
+(** Rebuild perfect tables for every alive node of an existing network
+    (idempotent; used to repair or to upgrade a partially built network to
+    the oracle state). *)
+
+val table_quality : Network.t -> oracle:Network.t -> float
+(** Fraction of non-empty slots of [oracle] whose primary distance is
+    matched (or beaten) in the corresponding node of the other network.
+    Networks must have the same node IDs and addresses. *)

@@ -1,0 +1,25 @@
+(** Cross-module invariant checks (tests and experiments only).
+
+    These walk the live network with charging rolled back, so they can be
+    interleaved with measured operations without distorting accounting. *)
+
+type pointer_gap = {
+  guid : Node_id.t;
+  server : Node_id.t;
+  missing_at : Node_id.t;  (** publish-path node lacking the pointer *)
+}
+
+val check_property4 : Network.t -> pointer_gap list
+(** Property 4: every node on the path from each replica server to the
+    object's root holds a pointer for that (object, server) pair.  Paths are
+    recomputed with current tables. *)
+
+val roots_agree : Network.t -> Node_id.t -> samples:int -> bool
+(** Theorem 2 empirically: routes toward a GUID from [samples] random
+    sources all end at the same root (and at the oracle root). *)
+
+val reachable_everywhere : Network.t -> Node_id.t -> bool
+(** Does a locate for the GUID succeed from every alive node? *)
+
+val availability : Network.t -> guids:Node_id.t list -> samples:int -> float
+(** Fraction of (random client, guid) locate probes that succeed. *)

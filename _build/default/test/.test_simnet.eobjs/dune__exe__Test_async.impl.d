@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Async_ops Config Delete Insert List Locate Maintenance Network Node Node_id Route Routing_table Simnet Tapestry Verify

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Config Id_index Insert List Locate Network Node Node_id Publish Routing_table Simnet Tapestry

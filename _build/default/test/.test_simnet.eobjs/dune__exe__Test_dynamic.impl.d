@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Config Delete Id_index Insert List Locate Maintenance Nearest_neighbor Network Node Node_id Printf Publish Route Routing_table Simnet Tapestry Verify

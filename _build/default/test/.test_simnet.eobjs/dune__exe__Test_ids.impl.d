@@ -1,0 +1,1 @@
+test/test_ids.ml: Alcotest Config Id_index List Node_id Pointer_store Routing_table Simnet String Tapestry

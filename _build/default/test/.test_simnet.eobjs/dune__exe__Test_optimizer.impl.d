@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Config Delete Insert List Locate Network Node Node_id Optimizer Printf Publish Route Routing_table Simnet Tapestry Verify

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Baselines Config Delete Hashtbl Id_index Insert List Network Node Node_id Publish QCheck QCheck_alcotest Routing_table Simnet Tapestry Verify

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Cost Fiber Graph Heap List Metric Printf Rng Simnet Stats String Topology Transit_stub

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Config Delete Evaluation Insert List Locality Locate Network Node Node_id Pointer_store Publish Route Routing_table Simnet Static_build String Tapestry Verify

@@ -1,0 +1,176 @@
+(* Tests for the asynchronous runtime: per-hop virtual latency, racing
+   operations, and the Section 5.2/6.5 soft-state daemons. *)
+
+open Tapestry
+
+let build ?(n = 100) ?(seed = 121) () =
+  let rng = Simnet.Rng.create seed in
+  let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
+  let addrs = List.init n (fun i -> i) in
+  let net, _ = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs in
+  let sched = Simnet.Fiber.create () in
+  let env = Async_ops.make_env sched net in
+  (net, sched, env)
+
+let random_guid net =
+  Node_id.random ~base:16 ~len:8 net.Network.rng
+
+let test_async_route_matches_sync () =
+  let net, sched, env = build () in
+  (* in a quiescent network the async walk must reach the same root *)
+  for _ = 1 to 25 do
+    let guid = random_guid net in
+    let from = Network.random_alive net in
+    let sync_root =
+      Network.without_charging net (fun () ->
+          (Route.route_to_root net ~from guid).Route.root)
+    in
+    let got = ref None in
+    Simnet.Fiber.spawn sched (fun () ->
+        got := Some (Async_ops.route_to_root env ~from guid).Route.root);
+    Simnet.Fiber.run sched;
+    match !got with
+    | Some r ->
+        Alcotest.(check bool) "same root" true (Node_id.equal r.Node.id sync_root.Node.id)
+    | None -> Alcotest.fail "fiber did not finish"
+  done
+
+let test_async_route_takes_time () =
+  let net, sched, env = build () in
+  let guid = random_guid net in
+  let from = Network.random_alive net in
+  let before = Simnet.Fiber.now sched in
+  Simnet.Fiber.spawn sched (fun () -> ignore (Async_ops.route_to_root env ~from guid));
+  Simnet.Fiber.run sched;
+  Alcotest.(check bool) "virtual time advanced" true (Simnet.Fiber.now sched > before)
+
+let test_async_publish_locate_roundtrip () =
+  let net, sched, env = build () in
+  let guids =
+    List.init 15 (fun _ ->
+        let server = Network.random_alive net in
+        let guid = random_guid net in
+        Simnet.Fiber.spawn sched (fun () -> Async_ops.publish env ~server guid);
+        guid)
+  in
+  Simnet.Fiber.run sched;
+  Alcotest.(check int) "P4 holds after async publishes" 0
+    (List.length (Verify.check_property4 net));
+  let ok = ref 0 in
+  List.iter
+    (fun guid ->
+      Simnet.Fiber.spawn sched (fun () ->
+          let client = Network.random_alive net in
+          if (Async_ops.locate env ~client guid).Locate.server <> None then incr ok))
+    guids;
+  Simnet.Fiber.run sched;
+  Alcotest.(check int) "all found asynchronously" 15 !ok
+
+let test_concurrent_async_locates_race_cleanly () =
+  let net, sched, env = build () in
+  let server = Network.random_alive net in
+  let guid = random_guid net in
+  Simnet.Fiber.spawn sched (fun () -> Async_ops.publish env ~server guid);
+  Simnet.Fiber.run sched;
+  (* 50 locates in flight simultaneously *)
+  let ok = ref 0 in
+  for _ = 1 to 50 do
+    Simnet.Fiber.spawn sched (fun () ->
+        let client = Network.random_alive net in
+        if (Async_ops.locate env ~client guid).Locate.server <> None then incr ok)
+  done;
+  Simnet.Fiber.run sched;
+  Alcotest.(check int) "no interference" 50 !ok;
+  Alcotest.(check int) "no stalled fibers" 0 (Simnet.Fiber.stalled_fibers sched)
+
+let test_heartbeat_detects_failures () =
+  let net, sched, env = build () in
+  (* silent kills, then heartbeat sweeps repair every table *)
+  let victims = Network.alive_nodes net |> List.filteri (fun i _ -> i mod 8 = 0) in
+  List.iter (fun v -> Delete.fail net v) victims;
+  Simnet.Fiber.spawn sched (fun () -> Async_ops.heartbeat_daemon env ~period:5.0 ~rounds:3);
+  Simnet.Fiber.run sched;
+  (* no alive node still references a dead one *)
+  List.iter
+    (fun (node : Node.t) ->
+      Routing_table.iter_entries node.Node.table (fun ~level:_ ~digit:_ e ->
+          match Network.find net e.Routing_table.id with
+          | Some peer when Node.is_alive peer -> ()
+          | _ -> Alcotest.fail "stale entry survived the heartbeat sweep"))
+    (Network.alive_nodes net)
+
+let test_republish_daemon_refreshes_expiry () =
+  let net, sched, env = build () in
+  let server = Network.random_alive net in
+  let guid = random_guid net in
+  Simnet.Fiber.spawn sched (fun () -> Async_ops.publish env ~server guid);
+  Simnet.Fiber.run sched;
+  (* let a lot of virtual time pass with the daemon running: the object must
+     stay available even past the original TTL *)
+  let ttl = Config.default.Config.pointer_ttl in
+  let period = ttl /. 2. in
+  Simnet.Fiber.spawn sched (fun () ->
+      Async_ops.republish_daemon env ~period ~rounds:5);
+  Simnet.Fiber.spawn sched (fun () ->
+      for _ = 1 to 5 do
+        Simnet.Fiber.sleep sched period;
+        let client = Network.random_alive net in
+        if (Async_ops.locate env ~client guid).Locate.server = None then
+          Alcotest.fail "object lost despite republish daemon"
+      done);
+  Simnet.Fiber.run sched;
+  Alcotest.(check bool) "survived past TTL" true
+    (Simnet.Fiber.now sched > ttl)
+
+let test_locate_races_failure_of_pointer_node () =
+  (* kill a mid-path pointer holder while locates are in flight: queries must
+     either succeed or fail cleanly, never crash or stall *)
+  let net, sched, env = build ~seed:131 () in
+  let server = Network.random_alive net in
+  let guid = random_guid net in
+  Simnet.Fiber.spawn sched (fun () -> Async_ops.publish env ~server guid);
+  Simnet.Fiber.run sched;
+  let info =
+    Network.without_charging net (fun () -> Route.route_to_root net ~from:server guid)
+  in
+  let mid =
+    List.filter
+      (fun (h : Node.t) -> not (Node_id.equal h.Node.id server.Node.id))
+      info.Route.path
+  in
+  (match mid with
+  | victim :: _ ->
+      for _ = 1 to 20 do
+        Simnet.Fiber.spawn sched (fun () ->
+            let client = Network.random_alive net in
+            ignore (Async_ops.locate env ~client guid))
+      done;
+      Simnet.Fiber.spawn_at sched 0.3 (fun () -> Delete.fail net victim);
+      Simnet.Fiber.run sched;
+      Alcotest.(check int) "no stalls" 0 (Simnet.Fiber.stalled_fibers sched)
+  | [] -> ());
+  (* after a republish the object is available again from everywhere *)
+  ignore (Maintenance.republish_all net);
+  Alcotest.(check bool) "recovered" true (Verify.reachable_everywhere net guid)
+
+let () =
+  Alcotest.run "async"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "matches sync roots" `Quick test_async_route_matches_sync;
+          Alcotest.test_case "takes virtual time" `Quick test_async_route_takes_time;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "publish/locate roundtrip" `Quick test_async_publish_locate_roundtrip;
+          Alcotest.test_case "50 racing locates" `Quick test_concurrent_async_locates_race_cleanly;
+          Alcotest.test_case "locate races pointer-node failure" `Quick
+            test_locate_races_failure_of_pointer_node;
+        ] );
+      ( "daemons",
+        [
+          Alcotest.test_case "heartbeat repairs tables" `Quick test_heartbeat_detects_failures;
+          Alcotest.test_case "republish outlives TTL" `Quick test_republish_daemon_refreshes_expiry;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Unit tests for identifiers, the trie index, routing tables, pointer
+   stores and configuration. *)
+
+open Tapestry
+
+let rng = Simnet.Rng.create 2
+
+let id_of s = Node_id.of_string ~base:16 s
+
+(* --- Node_id --- *)
+
+let test_id_roundtrip () =
+  let id = Node_id.random ~base:16 ~len:8 rng in
+  let s = Node_id.to_string id in
+  Alcotest.(check int) "length" 8 (String.length s);
+  Alcotest.(check bool) "roundtrip" true (Node_id.equal id (id_of s))
+
+let test_id_of_string_invalid () =
+  Alcotest.check_raises "bad digit"
+    (Invalid_argument "Node_id.of_string: bad digit z") (fun () ->
+      ignore (id_of "z1234567"))
+
+let test_id_common_prefix () =
+  Alcotest.(check int) "shares 3" 3 (Node_id.common_prefix_len (id_of "abc123") (id_of "abcf00"));
+  Alcotest.(check int) "shares 0" 0 (Node_id.common_prefix_len (id_of "1bc123") (id_of "abcf00"));
+  Alcotest.(check int) "identical" 6 (Node_id.common_prefix_len (id_of "abc123") (id_of "abc123"))
+
+let test_id_has_prefix () =
+  let id = id_of "abc123" in
+  Alcotest.(check bool) "yes" true
+    (Node_id.has_prefix id ~prefix:(Node_id.digits (id_of "abcfff")) ~len:3);
+  Alcotest.(check bool) "no" false
+    (Node_id.has_prefix id ~prefix:(Node_id.digits (id_of "abffff")) ~len:3)
+
+let test_id_salt () =
+  let id = Node_id.random ~base:16 ~len:8 rng in
+  Alcotest.(check bool) "salt 0 is identity" true (Node_id.equal id (Node_id.salt ~base:16 id 0));
+  let s1 = Node_id.salt ~base:16 id 1 in
+  let s1' = Node_id.salt ~base:16 id 1 in
+  Alcotest.(check bool) "salt deterministic" true (Node_id.equal s1 s1');
+  let s2 = Node_id.salt ~base:16 id 2 in
+  Alcotest.(check bool) "salts differ" false (Node_id.equal s1 s2)
+
+let test_id_int_roundtrip () =
+  let id = id_of "00ff01" in
+  let v = Node_id.to_int ~base:16 id in
+  Alcotest.(check int) "value" 0x00ff01 v;
+  Alcotest.(check bool) "roundtrip" true
+    (Node_id.equal id (Node_id.of_int ~base:16 ~len:6 v))
+
+let test_id_collections () =
+  let a = id_of "aa" and b = id_of "bb" in
+  let s = Node_id.Set.add a (Node_id.Set.add b Node_id.Set.empty) in
+  Alcotest.(check int) "set" 2 (Node_id.Set.cardinal s);
+  let tbl = Node_id.Tbl.create 4 in
+  Node_id.Tbl.replace tbl a 1;
+  Node_id.Tbl.replace tbl (id_of "aa") 2;
+  Alcotest.(check int) "hashtbl dedupes equal ids" 1 (Node_id.Tbl.length tbl)
+
+(* --- Config --- *)
+
+let test_config_validate () =
+  Alcotest.(check bool) "default ok" true (Config.validate Config.default = Ok ());
+  let bad = { Config.default with Config.base = 10 } in
+  Alcotest.(check bool) "non-power-of-two rejected" true (Config.validate bad <> Ok ());
+  let bad2 = { Config.default with Config.redundancy = 0 } in
+  Alcotest.(check bool) "zero redundancy rejected" true (Config.validate bad2 <> Ok ())
+
+let test_config_scaled_k () =
+  let cfg = { Config.default with Config.k_list = 4 } in
+  Alcotest.(check bool) "grows with n" true
+    (Config.scaled_k cfg ~n:4096 > Config.scaled_k cfg ~n:16);
+  Alcotest.(check bool) "floor respected" true (Config.scaled_k cfg ~n:2 >= 4)
+
+(* --- Id_index --- *)
+
+let test_index_basic () =
+  let t = Id_index.create ~base:16 in
+  List.iter (fun s -> Id_index.add t (id_of s)) [ "ab12"; "ab34"; "ac00"; "ff00" ];
+  Alcotest.(check int) "size" 4 (Id_index.size t);
+  Alcotest.(check bool) "mem" true (Id_index.mem t (id_of "ab12"));
+  Alcotest.(check bool) "not mem" false (Id_index.mem t (id_of "abff"));
+  let prefix = Node_id.digits (id_of "ab00") in
+  Alcotest.(check int) "count ab" 2 (Id_index.count_with_prefix t ~prefix ~len:2);
+  Alcotest.(check (list int)) "digits after a" [ 0xb; 0xc ]
+    (Id_index.digits_after t ~prefix ~len:1);
+  Alcotest.(check bool) "extension" true
+    (Id_index.exists_extension t ~prefix ~len:2 ~digit:1);
+  Alcotest.(check bool) "no extension" false
+    (Id_index.exists_extension t ~prefix ~len:2 ~digit:7)
+
+let test_index_remove () =
+  let t = Id_index.create ~base:16 in
+  Id_index.add t (id_of "ab12");
+  Id_index.add t (id_of "ab34");
+  Id_index.remove t (id_of "ab12");
+  Alcotest.(check int) "size" 1 (Id_index.size t);
+  Alcotest.(check bool) "gone" false (Id_index.mem t (id_of "ab12"));
+  Id_index.remove t (id_of "ab12");
+  Alcotest.(check int) "idempotent" 1 (Id_index.size t);
+  let prefix = Node_id.digits (id_of "ab12") in
+  Alcotest.(check bool) "branch pruned" false
+    (Id_index.exists_extension t ~prefix ~len:2 ~digit:1)
+
+let test_index_ids_with_prefix () =
+  let t = Id_index.create ~base:16 in
+  List.iter (fun s -> Id_index.add t (id_of s)) [ "ab12"; "ab34"; "cd00" ];
+  let prefix = Node_id.digits (id_of "ab00") in
+  let got =
+    Id_index.ids_with_prefix t ~prefix ~len:2 |> List.map Node_id.to_string
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "enumeration" [ "ab12"; "ab34" ] got
+
+(* --- Routing_table --- *)
+
+let cfg4 = { Config.default with Config.id_digits = 4; redundancy = 2 }
+
+let test_table_self_entries () =
+  let owner = id_of "a1b2" in
+  let t = Routing_table.create cfg4 ~owner in
+  (* the owner occupies its own digit slot at every level *)
+  for level = 0 to 3 do
+    let digit = Node_id.digit owner level in
+    match Routing_table.primary t ~level ~digit with
+    | Some e -> Alcotest.(check bool) "self primary" true (Node_id.equal e.Routing_table.id owner)
+    | None -> Alcotest.fail "missing self entry"
+  done;
+  Alcotest.(check int) "entry_count excludes self" 0 (Routing_table.entry_count t)
+
+let test_table_consider_ordering () =
+  let owner = id_of "a000" in
+  let t = Routing_table.create cfg4 ~owner in
+  (* three candidates for slot (1, digit of second position) with R=2 *)
+  let c1 = id_of "ab11" and c2 = id_of "ab22" and c3 = id_of "ab33" in
+  Alcotest.(check bool) "add far" true
+    (Routing_table.consider t ~level:1 ~candidate:c1 ~dist:5.0 = `Added None);
+  Alcotest.(check bool) "add close" true
+    (Routing_table.consider t ~level:1 ~candidate:c2 ~dist:1.0 = `Added None);
+  (match Routing_table.primary t ~level:1 ~digit:0xb with
+  | Some e -> Alcotest.(check bool) "closest is primary" true (Node_id.equal e.Routing_table.id c2)
+  | None -> Alcotest.fail "slot empty");
+  (* closer third candidate evicts the farthest *)
+  (match Routing_table.consider t ~level:1 ~candidate:c3 ~dist:2.0 with
+  | `Added (Some evicted) ->
+      Alcotest.(check bool) "evicted farthest" true (Node_id.equal evicted c1)
+  | _ -> Alcotest.fail "expected eviction");
+  (* a far fourth candidate is rejected *)
+  Alcotest.(check bool) "reject far" true
+    (Routing_table.consider t ~level:1 ~candidate:(id_of "ab44") ~dist:9.0 = `Rejected);
+  (* re-offering an existing one refreshes, not duplicates *)
+  Alcotest.(check bool) "known" true
+    (Routing_table.consider t ~level:1 ~candidate:c2 ~dist:0.5 = `Known);
+  Alcotest.(check int) "slot size" 2
+    (List.length (Routing_table.slot t ~level:1 ~digit:0xb))
+
+let test_table_remove_and_holes () =
+  let owner = id_of "a000" in
+  let t = Routing_table.create cfg4 ~owner in
+  let c = id_of "ab11" in
+  ignore (Routing_table.consider t ~level:0 ~candidate:c ~dist:1.0);
+  ignore (Routing_table.consider t ~level:1 ~candidate:c ~dist:1.0);
+  Alcotest.(check (list int)) "removed from both levels" [ 0; 1 ] (Routing_table.remove t c);
+  Alcotest.(check bool) "hole back" true (Routing_table.is_hole t ~level:1 ~digit:0xb);
+  Alcotest.(check bool) "holes listed" true
+    (List.mem (1, 0xb) (Routing_table.holes t))
+
+let test_table_backpointers () =
+  let owner = id_of "a000" in
+  let t = Routing_table.create cfg4 ~owner in
+  let other = id_of "b000" in
+  Routing_table.add_backpointer t ~level:0 other;
+  Alcotest.(check int) "one bp" 1 (List.length (Routing_table.backpointers t ~level:0));
+  Routing_table.add_backpointer t ~level:0 other;
+  Alcotest.(check int) "no dup" 1 (List.length (Routing_table.backpointers t ~level:0));
+  Routing_table.add_backpointer t ~level:0 owner;
+  Alcotest.(check int) "self skipped" 1 (List.length (Routing_table.backpointers t ~level:0));
+  Routing_table.remove_backpointer t ~level:0 other;
+  Alcotest.(check int) "removed" 0 (List.length (Routing_table.backpointers t ~level:0))
+
+let test_table_known_at_level () =
+  let owner = id_of "a000" in
+  let t = Routing_table.create cfg4 ~owner in
+  ignore (Routing_table.consider t ~level:1 ~candidate:(id_of "ab11") ~dist:1.0);
+  ignore (Routing_table.consider t ~level:1 ~candidate:(id_of "ac22") ~dist:2.0);
+  let known = Routing_table.known_at_level t ~level:1 |> List.map Node_id.to_string |> List.sort compare in
+  Alcotest.(check (list string)) "both digits, owner excluded" [ "ab11"; "ac22" ] known
+
+(* --- Pointer_store --- *)
+
+let test_pointer_store_roundtrip () =
+  let ps = Pointer_store.create () in
+  let guid = id_of "dead" and server = id_of "beef" in
+  Alcotest.(check bool) "new" true
+    (Pointer_store.store ps ~guid ~server ~root_idx:0 ~previous:None ~expires:10. = `New);
+  (match Pointer_store.store ps ~guid ~server ~root_idx:0
+           ~previous:(Some (id_of "aaaa")) ~expires:20. with
+  | `Refreshed None -> ()
+  | _ -> Alcotest.fail "expected refresh returning old previous");
+  Alcotest.(check int) "size" 1 (Pointer_store.size ps);
+  (match Pointer_store.find ps ~guid ~server ~root_idx:0 with
+  | Some r ->
+      Alcotest.(check bool) "previous updated" true
+        (r.Pointer_store.previous = Some (id_of "aaaa"));
+      Alcotest.(check bool) "expiry extended" true (r.Pointer_store.expires >= 20.)
+  | None -> Alcotest.fail "record missing");
+  (* same guid+server, different root: distinct record *)
+  ignore (Pointer_store.store ps ~guid ~server ~root_idx:1 ~previous:None ~expires:10.);
+  Alcotest.(check int) "roots distinct" 2 (Pointer_store.size ps);
+  Alcotest.(check int) "find_guid sees both" 2 (List.length (Pointer_store.find_guid ps guid))
+
+let test_pointer_store_expiry () =
+  let ps = Pointer_store.create () in
+  let guid = id_of "dead" in
+  ignore (Pointer_store.store ps ~guid ~server:(id_of "b001") ~root_idx:0 ~previous:None ~expires:5.);
+  ignore (Pointer_store.store ps ~guid ~server:(id_of "b002") ~root_idx:0 ~previous:None ~expires:50.);
+  Alcotest.(check int) "one expired" 1 (Pointer_store.expire ps ~now:10.);
+  Alcotest.(check int) "one left" 1 (Pointer_store.size ps);
+  Alcotest.(check bool) "guid still known" true (Pointer_store.mem_guid ps guid)
+
+let test_pointer_store_remove () =
+  let ps = Pointer_store.create () in
+  let g1 = id_of "aaaa" and g2 = id_of "bbbb" in
+  ignore (Pointer_store.store ps ~guid:g1 ~server:(id_of "0001") ~root_idx:0 ~previous:None ~expires:5.);
+  ignore (Pointer_store.store ps ~guid:g1 ~server:(id_of "0002") ~root_idx:0 ~previous:None ~expires:5.);
+  ignore (Pointer_store.store ps ~guid:g2 ~server:(id_of "0001") ~root_idx:0 ~previous:None ~expires:5.);
+  Alcotest.(check bool) "remove one" true
+    (Pointer_store.remove ps ~guid:g1 ~server:(id_of "0001") ~root_idx:0);
+  Alcotest.(check bool) "already gone" false
+    (Pointer_store.remove ps ~guid:g1 ~server:(id_of "0001") ~root_idx:0);
+  Alcotest.(check int) "remove_guid" 1 (Pointer_store.remove_guid ps g1);
+  Alcotest.(check int) "g2 untouched" 1 (Pointer_store.size ps);
+  Alcotest.(check int) "guids" 1 (List.length (Pointer_store.guids ps))
+
+let () =
+  Alcotest.run "ids"
+    [
+      ( "node_id",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_id_roundtrip;
+          Alcotest.test_case "invalid parse" `Quick test_id_of_string_invalid;
+          Alcotest.test_case "common prefix" `Quick test_id_common_prefix;
+          Alcotest.test_case "has_prefix" `Quick test_id_has_prefix;
+          Alcotest.test_case "salt" `Quick test_id_salt;
+          Alcotest.test_case "int roundtrip" `Quick test_id_int_roundtrip;
+          Alcotest.test_case "collections" `Quick test_id_collections;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "validate" `Quick test_config_validate;
+          Alcotest.test_case "scaled k" `Quick test_config_scaled_k;
+        ] );
+      ( "id_index",
+        [
+          Alcotest.test_case "basic" `Quick test_index_basic;
+          Alcotest.test_case "remove" `Quick test_index_remove;
+          Alcotest.test_case "prefix enumeration" `Quick test_index_ids_with_prefix;
+        ] );
+      ( "routing_table",
+        [
+          Alcotest.test_case "self entries" `Quick test_table_self_entries;
+          Alcotest.test_case "consider ordering" `Quick test_table_consider_ordering;
+          Alcotest.test_case "remove & holes" `Quick test_table_remove_and_holes;
+          Alcotest.test_case "backpointers" `Quick test_table_backpointers;
+          Alcotest.test_case "known_at_level" `Quick test_table_known_at_level;
+        ] );
+      ( "pointer_store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_pointer_store_roundtrip;
+          Alcotest.test_case "expiry" `Quick test_pointer_store_expiry;
+          Alcotest.test_case "remove" `Quick test_pointer_store_remove;
+        ] );
+    ]
