@@ -47,7 +47,9 @@ let exp_cmd =
       | None -> Evaluation.Experiment.run_and_print ~seed mode names
       | Some dir ->
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-          let names = if names = [] then Evaluation.Experiment.names else names in
+          let names =
+            match names with [] -> Evaluation.Experiment.names | _ :: _ -> names
+          in
           List.iter
             (fun name ->
               let ts = Evaluation.Experiment.by_name ~seed mode name in
@@ -97,7 +99,16 @@ let build_cmd =
       & info [ "topology" ] ~docv:"KIND"
           ~doc:"Topology kind (uniform-square, uniform-torus, grid, ring, clustered, star, random-metric).")
   in
-  let run seed n kind =
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the full mesh invariant audit (Properties 1/2, backpointer \
+             symmetry, pointer expiry, owner presence) on the built network \
+             and fail on any violation.")
+  in
+  let run seed n kind audit =
     let open Tapestry in
     let rng = Simnet.Rng.create seed in
     let metric = Simnet.Topology.generate kind ~n ~rng in
@@ -122,11 +133,19 @@ let build_cmd =
     Printf.printf "property 2 optimal primaries: %d/%d\n" !optimal !total;
     let rng2 = Simnet.Rng.create (seed + 2) in
     Printf.printf "expansion constant (est.): %.2f\n"
-      (Simnet.Metric.expansion_estimate metric ~samples:200 ~rng:rng2)
+      (Simnet.Metric.expansion_estimate metric ~samples:200 ~rng:rng2);
+    if audit then begin
+      let report = Audit.run net in
+      Format.printf "%a@." Audit.pp_report report;
+      if not (Audit.is_clean report) then
+        Error (`Msg "audit found invariant violations")
+      else Ok ()
+    end
+    else Ok ()
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build a network incrementally and report its health.")
-    Term.(const run $ seed_arg $ n_arg $ topo_arg)
+    Term.(term_result (const run $ seed_arg $ n_arg $ topo_arg $ audit_arg))
 
 (* --- trace --- *)
 

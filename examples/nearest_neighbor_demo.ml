@@ -55,7 +55,9 @@ let () =
       | _ -> ())
     (Network.alive_nodes net);
   Printf.printf "nearest-neighbor answers: %d/%d exact\n" !correct !total;
-  if !off_by <> [] then
-    Format.printf "  misses are near-ties; got/true distance ratio: %a@."
-      Simnet.Stats.pp_summary
-      (Simnet.Stats.summarize !off_by)
+  match !off_by with
+  | [] -> ()
+  | _ :: _ ->
+      Format.printf "  misses are near-ties; got/true distance ratio: %a@."
+        Simnet.Stats.pp_summary
+        (Simnet.Stats.summarize !off_by)

@@ -17,7 +17,7 @@ let publish t ~server_addr ~guid_key =
         ~dist:(Simnet.Metric.dist t.metric server_addr other)
   done;
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.replicas guid_key) in
-  if not (List.mem server_addr cur) then
+  if not (List.exists (Int.equal server_addr) cur) then
     Hashtbl.replace t.replicas guid_key (server_addr :: cur)
 
 let locate t ~client_addr ~guid_key =

@@ -187,7 +187,7 @@ let locate t ~from ~guid_key =
   let p = point_of_key t guid_key in
   let owner, _ = route t ~from p in
   match Hashtbl.find_opt owner.pointers guid_key with
-  | Some (addrs) when addrs <> [] ->
+  | Some (_ :: _ as addrs) ->
       let best =
         List.fold_left
           (fun acc a ->

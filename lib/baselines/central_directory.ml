@@ -15,7 +15,7 @@ let directory_addr t = t.dir
 let publish t ~server_addr ~guid_key =
   Simnet.Cost.send t.cost ~dist:(Simnet.Metric.dist t.metric server_addr t.dir);
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.entries guid_key) in
-  if not (List.mem server_addr cur) then
+  if not (List.exists (Int.equal server_addr) cur) then
     Hashtbl.replace t.entries guid_key (server_addr :: cur)
 
 let unpublish t ~server_addr ~guid_key =

@@ -104,19 +104,22 @@ let find_successor t ~from key =
     if hops > 4 * t.m then (successor n, hops) (* safety valve *)
     else begin
       let succ = successor n in
-      if n.succs = [] then (n, hops)
-      else if in_interval t ~a:n.key ~b:succ.key key then begin
-        charge t n succ;
-        (succ, hops + 1)
-      end
-      else
-        match closest_preceding n t key with
-        | Some next when next != n ->
-            charge t n next;
-            go next (hops + 1)
-        | _ ->
+      match n.succs with
+      | [] -> (n, hops)
+      | _ :: _ ->
+          if in_interval t ~a:n.key ~b:succ.key key then begin
             charge t n succ;
-            go succ (hops + 1)
+            (succ, hops + 1)
+          end
+          else begin
+            match closest_preceding n t key with
+            | Some next when next != n ->
+                charge t n next;
+                go next (hops + 1)
+            | _ ->
+                charge t n succ;
+                go succ (hops + 1)
+          end
     end
   in
   go from 0

@@ -21,7 +21,10 @@ let build ?(seed = 42) ?sample_size metric =
         let others =
           Array.init n (fun u -> (Simnet.Metric.dist metric v u, u))
         in
-        Array.sort compare others;
+        Array.sort
+          (fun (d1, u1) (d2, u2) ->
+            match Float.compare d1 d2 with 0 -> Int.compare u1 u2 | c -> c)
+          others;
         Array.init (levels + 1) (fun i ->
             let ball = min n (1 lsl i) in
             if ball <= sample_size then

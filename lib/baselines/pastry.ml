@@ -112,12 +112,12 @@ let consider_leaf t owner cand =
     let cw =
       List.filter (fun x -> cw_offset t owner.key x.key <= t.keyspace / 2) all
       |> List.sort (fun a b ->
-             compare (cw_offset t owner.key a.key) (cw_offset t owner.key b.key))
+             Int.compare (cw_offset t owner.key a.key) (cw_offset t owner.key b.key))
     in
     let ccw =
       List.filter (fun x -> cw_offset t owner.key x.key > t.keyspace / 2) all
       |> List.sort (fun a b ->
-             compare (cw_offset t a.key owner.key) (cw_offset t b.key owner.key))
+             Int.compare (cw_offset t a.key owner.key) (cw_offset t b.key owner.key))
     in
     let rec take i = function
       | [] -> []

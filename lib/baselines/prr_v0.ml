@@ -76,7 +76,12 @@ let publish t ~server_addr ~guid_key =
           ~dist:(Simnet.Metric.dist t.metric server_addr rep);
         let tbl = t.member_objects.(rep) in
         let cur = Option.value ~default:[] (Hashtbl.find_opt tbl guid_key) in
-        if not (List.mem (guid_key, server_addr) cur) then
+        if
+          not
+            (List.exists
+               (fun (g, s) -> Int.equal g guid_key && Int.equal s server_addr)
+               cur)
+        then
           Hashtbl.replace tbl guid_key ((guid_key, server_addr) :: cur)
       end
     done

@@ -97,7 +97,7 @@ let space_per_node t =
 (* The classic ascending query: w = p_i(u); swap sides until w in B(v). *)
 let approx_distance t u v =
   let dist = Simnet.Metric.dist t.metric in
-  let in_bunch w v = List.mem w t.bunches.(v) in
+  let in_bunch w v = List.exists (Int.equal w) t.bunches.(v) in
   let rec go u v i w =
     if w = v || in_bunch w v then dist u w +. dist w v
     else begin
@@ -124,7 +124,12 @@ let publish t ~server_addr ~guid_key =
     (fun w ->
       Simnet.Cost.message t.cost ~dist:(Simnet.Metric.dist t.metric server_addr w);
       let cur = Option.value ~default:[] (Hashtbl.find_opt t.registry.(w) guid_key) in
-      if not (List.mem (guid_key, server_addr) cur) then
+      if
+        not
+          (List.exists
+             (fun (g, s) -> Int.equal g guid_key && Int.equal s server_addr)
+             cur)
+      then
         Hashtbl.replace t.registry.(w) guid_key ((guid_key, server_addr) :: cur))
     (server_addr :: contacts t server_addr)
 
@@ -134,7 +139,7 @@ let locate t ~client_addr ~guid_key =
   let probes =
     (client_addr :: contacts t client_addr)
     |> List.map (fun w -> (Simnet.Metric.dist t.metric client_addr w, w))
-    |> List.sort compare
+    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
   in
   let rec go = function
     | [] -> None

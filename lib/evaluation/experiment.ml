@@ -344,7 +344,7 @@ let nn_k ?(seed = 42) mode =
     |> List.filter (fun (m : Node.t) ->
            Node_id.common_prefix_len m.Node.id probe.Node.id >= level)
     |> List.map (fun m -> (Network.dist net probe m, m))
-    |> List.sort compare
+    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
     |> List.filteri (fun i _ -> i < k)
     |> List.map snd
   in
@@ -1108,7 +1108,7 @@ let nn_vs_kr ?(seed = 42) mode =
       |> List.filter (fun (m : Node.t) ->
              Node_id.common_prefix_len m.Node.id probe.Node.id >= max_level)
       |> List.map (fun m -> (Network.dist net probe m, m))
-      |> List.sort compare
+      |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
       |> List.filteri (fun i _ -> i < k)
       |> List.map snd
     in
@@ -1421,7 +1421,7 @@ let by_name ?(seed = 42) mode name =
   | other -> invalid_arg ("Experiment.by_name: unknown experiment " ^ other)
 
 let run_and_print ?(seed = 42) mode which =
-  let which = if which = [] then names else which in
+  let which = match which with [] -> names | _ :: _ -> which in
   List.iter
     (fun name ->
       let tables = by_name ~seed mode name in

@@ -15,7 +15,8 @@ type 'a ivar_cell = { mutable st : 'a ivar_state }
 type _ Effect.t += Sleep : t * float -> unit Effect.t
 type _ Effect.t += Await : t * 'a ivar_cell -> 'a Effect.t
 
-let create () = { clock = 0.; queue = Heap.create ~cmp:compare; started = 0; finished = 0 }
+let create () =
+  { clock = 0.; queue = Heap.create ~cmp:Float.compare; started = 0; finished = 0 }
 
 let now sched = sched.clock
 

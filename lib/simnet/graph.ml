@@ -10,7 +10,10 @@ let add_edge g u v w =
     let replace node other =
       let rest = List.filter (fun (x, _) -> x <> other) g.adj.(node) in
       let keep =
-        match List.assoc_opt other g.adj.(node) with
+        match
+          Option.map snd
+            (List.find_opt (fun (x, _) -> Int.equal x other) g.adj.(node))
+        with
         | Some w0 -> min w0 w
         | None -> w
       in
@@ -25,7 +28,7 @@ let neighbors g u = g.adj.(u)
 let dijkstra g src =
   let dist = Array.make g.n infinity in
   let visited = Array.make g.n false in
-  let pq = Heap.create ~cmp:compare in
+  let pq = Heap.create ~cmp:Float.compare in
   dist.(src) <- 0.;
   Heap.push pq 0. src;
   let rec loop () =

@@ -49,7 +49,10 @@ let ball_count m p r =
 let k_closest m p ~k ~candidates =
   let arr = Array.of_list candidates in
   let keyed = Array.map (fun q -> (m.dist p q, q)) arr in
-  Array.sort compare keyed;
+  Array.sort
+    (fun (d1, q1) (d2, q2) ->
+      match Float.compare d1 d2 with 0 -> Int.compare q1 q2 | c -> c)
+    keyed;
   let n = min k (Array.length keyed) in
   Array.to_list (Array.map snd (Array.sub keyed 0 n))
 

@@ -21,7 +21,7 @@ let percentile xs p =
   | [] -> 0.
   | xs ->
       let a = Array.of_list xs in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       let n = Array.length a in
       let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
       let idx = max 0 (min (n - 1) idx) in
@@ -53,7 +53,7 @@ let gini xs =
   | [] -> 0.
   | xs ->
       let a = Array.of_list xs in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       let n = Array.length a in
       let total = Array.fold_left ( +. ) 0. a in
       if total <= 0. then 0.

@@ -1,0 +1,255 @@
+(* Full mesh invariant audit, extending Verify with the structural
+   invariants the paper's correctness argument rests on.  Runs at quiescent
+   points (no in-flight operations); all walking is charge-free. *)
+
+type violation =
+  | Uncertified_hole of {
+      node : Node_id.t;
+      level : int;
+      digit : int;
+      witness : Node_id.t;
+    }
+  | Misordered_slot of { node : Node_id.t; level : int; digit : int }
+  | Misplaced_entry of {
+      node : Node_id.t;
+      level : int;
+      digit : int;
+      entry : Node_id.t;
+    }
+  | Dangling_entry of {
+      node : Node_id.t;
+      level : int;
+      digit : int;
+      entry : Node_id.t;
+    }
+  | Missing_backpointer of {
+      holder : Node_id.t;
+      level : int;
+      target : Node_id.t;
+    }
+  | Stale_backpointer of { node : Node_id.t; level : int; source : Node_id.t }
+  | Missing_owner of { node : Node_id.t; level : int }
+  | Expired_pointer of {
+      node : Node_id.t;
+      guid : Node_id.t;
+      server : Node_id.t;
+      root_idx : int;
+      expires : float;
+    }
+
+type report = {
+  nodes_audited : int;
+  entries_checked : int;
+  holes_certified : int;
+  violations : violation list;
+}
+
+let violation_code = function
+  | Uncertified_hole _ -> "uncertified-hole"
+  | Misordered_slot _ -> "misordered-slot"
+  | Misplaced_entry _ -> "misplaced-entry"
+  | Dangling_entry _ -> "dangling-entry"
+  | Missing_backpointer _ -> "missing-backpointer"
+  | Stale_backpointer _ -> "stale-backpointer"
+  | Missing_owner _ -> "missing-owner"
+  | Expired_pointer _ -> "expired-pointer"
+
+let is_clean r = match r.violations with [] -> true | _ :: _ -> false
+
+let pp_violation ppf v =
+  let id = Node_id.to_string in
+  match v with
+  | Uncertified_hole { node; level; digit; witness } ->
+      Format.fprintf ppf
+        "uncertified-hole: %s slot (L%d, %x) is empty but core node %s \
+         matches the prefix (Property 1)"
+        (id node) (level + 1) digit (id witness)
+  | Misordered_slot { node; level; digit } ->
+      Format.fprintf ppf
+        "misordered-slot: %s slot (L%d, %x) entries are not in ascending \
+         distance order (Property 2)"
+        (id node) (level + 1) digit
+  | Misplaced_entry { node; level; digit; entry } ->
+      Format.fprintf ppf
+        "misplaced-entry: %s slot (L%d, %x) holds %s whose ID does not \
+         select that slot"
+        (id node) (level + 1) digit (id entry)
+  | Dangling_entry { node; level; digit; entry } ->
+      Format.fprintf ppf
+        "dangling-entry: %s slot (L%d, %x) holds %s which is dead or unknown"
+        (id node) (level + 1) digit (id entry)
+  | Missing_backpointer { holder; level; target } ->
+      Format.fprintf ppf
+        "missing-backpointer: %s holds %s at level %d but %s has no \
+         level-%d backpointer to it (Section 2.1)"
+        (id holder) (id target) (level + 1) (id target) (level + 1)
+  | Stale_backpointer { node; level; source } ->
+      Format.fprintf ppf
+        "stale-backpointer: %s has a level-%d backpointer from %s which no \
+         longer holds it (Section 2.1)"
+        (id node) (level + 1) (id source)
+  | Missing_owner { node; level } ->
+      Format.fprintf ppf
+        "missing-owner: %s is absent from its own digit slot at level %d"
+        (id node) (level + 1)
+  | Expired_pointer { node; guid; server; root_idx; expires } ->
+      Format.fprintf ppf
+        "expired-pointer: %s still stores pointer (%s, %s, root %d) expired \
+         at %.2f (soft state, Section 2.2)"
+        (id node) (id guid) (id server) root_idx expires
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>audit: %d nodes, %d entries checked, %d holes certified, %d \
+     violation(s)@,"
+    r.nodes_audited r.entries_checked r.holes_certified
+    (List.length r.violations);
+  List.iter (fun v -> Format.fprintf ppf "  %a@," pp_violation v) r.violations;
+  Format.fprintf ppf "@]"
+
+let contains_id entries target =
+  List.exists
+    (fun (e : Routing_table.entry) -> Node_id.equal e.Routing_table.id target)
+    entries
+
+let run net =
+  Network.without_charging net (fun () ->
+      let cfg = net.Network.config in
+      let alive = Network.alive_nodes net in
+      let core = Network.core_nodes net in
+      let violations = ref [] in
+      let entries_checked = ref 0 in
+      let holes_certified = ref 0 in
+      let add v = violations := v :: !violations in
+      (* Property 1: every hole of a core node is a certified hole — no
+         core node extends (prefix, digit).  Mirrors the insertion-time
+         obligation of Definition 1 / Theorem 5. *)
+      let core_index = Id_index.create ~base:cfg.Config.base in
+      List.iter (fun (n : Node.t) -> Id_index.add core_index n.Node.id) core;
+      List.iter
+        (fun (n : Node.t) ->
+          let prefix = Node_id.digits n.Node.id in
+          for level = 0 to cfg.Config.id_digits - 1 do
+            for digit = 0 to cfg.Config.base - 1 do
+              if Routing_table.is_hole n.Node.table ~level ~digit then begin
+                if
+                  Id_index.exists_extension core_index ~prefix ~len:level
+                    ~digit
+                then begin
+                  let witness =
+                    Id_index.ids_with_prefix core_index ~prefix ~len:level
+                    |> List.find (fun id -> Node_id.digit id level = digit)
+                  in
+                  add
+                    (Uncertified_hole
+                       { node = n.Node.id; level; digit; witness })
+                end
+                else incr holes_certified
+              end
+            done
+          done)
+        core;
+      (* Per-slot structure for every alive node: entries belong to the
+         slot, are ordered by distance (Property 2: closest is primary),
+         point at live nodes, and are backpointed (Section 2.1). *)
+      List.iter
+        (fun (n : Node.t) ->
+          let table = n.Node.table in
+          let owner = n.Node.id in
+          for level = 0 to Routing_table.levels table - 1 do
+            for digit = 0 to Routing_table.base table - 1 do
+              let entries = Routing_table.slot table ~level ~digit in
+              let rec ordered = function
+                | (a : Routing_table.entry) :: (b :: _ as rest) ->
+                    a.Routing_table.dist <= b.Routing_table.dist
+                    && ordered rest
+                | [ _ ] | [] -> true
+              in
+              if not (ordered entries) then
+                add (Misordered_slot { node = owner; level; digit });
+              List.iter
+                (fun (e : Routing_table.entry) ->
+                  let eid = e.Routing_table.id in
+                  if not (Node_id.equal eid owner) then begin
+                    incr entries_checked;
+                    if
+                      Node_id.common_prefix_len owner eid < level
+                      || Node_id.digit eid level <> digit
+                    then
+                      add
+                        (Misplaced_entry
+                           { node = owner; level; digit; entry = eid });
+                    match Network.find net eid with
+                    | Some target when Node.is_alive target ->
+                        if
+                          not
+                            (List.exists (Node_id.equal owner)
+                               (Routing_table.backpointers target.Node.table
+                                  ~level))
+                        then
+                          add
+                            (Missing_backpointer
+                               { holder = owner; level; target = eid })
+                    | Some _ | None ->
+                        add
+                          (Dangling_entry
+                             { node = owner; level; digit; entry = eid })
+                  end)
+                entries
+            done;
+            (* the owner fills its own digit slot at every level (create's
+               invariant; routing and multicast rely on it) *)
+            let own_digit = Node_id.digit owner level in
+            if
+              not
+                (contains_id
+                   (Routing_table.slot table ~level ~digit:own_digit)
+                   owner)
+            then add (Missing_owner { node = owner; level })
+          done)
+        alive;
+      (* Backpointer reverse direction: every backpointer's source still
+         holds the node. *)
+      List.iter
+        (fun (b : Node.t) ->
+          List.iter
+            (fun (level, src) ->
+              let holds =
+                match Network.find net src with
+                | Some a when Node.is_alive a ->
+                    contains_id
+                      (Routing_table.slot a.Node.table ~level
+                         ~digit:(Node_id.digit b.Node.id level))
+                      b.Node.id
+                | Some _ | None -> false
+              in
+              if not holds then
+                add
+                  (Stale_backpointer
+                     { node = b.Node.id; level; source = src }))
+            (Routing_table.all_backpointers b.Node.table))
+        alive;
+      (* Pointer-store expiry consistency: at a quiescent point no node may
+         still hold a pointer past its expiry (soft state, Section 2.2). *)
+      List.iter
+        (fun (n : Node.t) ->
+          List.iter
+            (fun (r : Pointer_store.record) ->
+              if r.Pointer_store.expires < net.Network.clock then
+                add
+                  (Expired_pointer
+                     {
+                       node = n.Node.id;
+                       guid = r.Pointer_store.guid;
+                       server = r.Pointer_store.server;
+                       root_idx = r.Pointer_store.root_idx;
+                       expires = r.Pointer_store.expires;
+                     }))
+            (Pointer_store.records n.Node.pointers))
+        alive;
+      {
+        nodes_audited = List.length alive;
+        entries_checked = !entries_checked;
+        holes_certified = !holes_certified;
+        violations = List.rev !violations;
+      })

@@ -32,7 +32,9 @@ let walk_toward_root ?variant ?exclude net ~from salted guid =
   Route.fold_path ?variant ?exclude net ~from salted ~init:[]
     ~f:(fun path node ->
       let path = node :: path in
-      if usable_records net node guid <> [] then `Stop path else `Continue path)
+      match usable_records net node guid with
+      | _ :: _ -> `Stop path
+      | [] -> `Continue path)
 
 let rec locate ?variant ?root_idx net ~client guid =
   let cfg = net.Network.config in

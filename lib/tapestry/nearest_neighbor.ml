@@ -37,7 +37,7 @@ let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list ~
   let all = Node_id.Tbl.fold (fun _ n acc -> n :: acc) candidates [] in
   let keyed =
     List.map (fun (n : Node.t) -> (Network.dist net new_node n, n)) all
-    |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
   in
   let rec take i = function
     | [] -> []
@@ -88,7 +88,7 @@ let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k ~contacted
     |> List.filter (fun (m : Node.t) ->
            Node.is_alive m && not (Node_id.equal m.Node.id new_node.Node.id))
     |> List.map (fun (m : Node.t) -> (Network.dist net new_node m, m))
-    |> List.sort (fun (d1, _) (d2, _) -> compare d1 d2)
+    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
     |> List.filteri (fun i _ -> i < k)
     |> List.map snd
   in

@@ -28,9 +28,25 @@ let digit t i = t.d.(i)
 
 let digits t = Array.copy t.d
 
-let equal a b = a.h = b.h && a.d = b.d
+let equal a b =
+  a.h = b.h
+  && Array.length a.d = Array.length b.d
+  &&
+  let rec go i = i < 0 || (a.d.(i) = b.d.(i) && go (i - 1)) in
+  go (Array.length a.d - 1)
 
-let compare a b = Stdlib.compare a.d b.d
+(* Digit-by-digit, most significant first; shorter IDs order before their
+   extensions (same order Stdlib.compare gave on the digit arrays, but
+   explicit so no polymorphic comparison touches protocol values). *)
+let compare a b =
+  let la = Array.length a.d and lb = Array.length b.d in
+  let n = min la lb in
+  let rec go i =
+    if i = n then Int.compare la lb
+    else
+      match Int.compare a.d.(i) b.d.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
 
 let hash t = t.h
 

@@ -57,8 +57,9 @@ let share_tables net =
       let improved = ref 0 in
       let levels = Routing_table.levels node.Node.table in
       for level = 0 to levels - 1 do
-        let entries = Routing_table.known_at_level node.Node.table ~level in
-        if entries <> [] then
+        match Routing_table.known_at_level node.Node.table ~level with
+        | [] -> ()
+        | entries ->
           List.iter
             (fun peer_id ->
               match Network.find net peer_id with

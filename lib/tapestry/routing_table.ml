@@ -28,7 +28,8 @@ let slot t ~level ~digit = t.slots.(level).(digit)
 let primary t ~level ~digit =
   match t.slots.(level).(digit) with [] -> None | e :: _ -> Some e
 
-let is_hole t ~level ~digit = t.slots.(level).(digit) = []
+let is_hole t ~level ~digit =
+  match t.slots.(level).(digit) with [] -> true | _ :: _ -> false
 
 let insert_sorted e l =
   let rec go = function
@@ -90,7 +91,9 @@ let update_distances t ~measure =
                       | None -> None)
                   entries
               in
-              let sorted = List.sort (fun a b -> compare a.dist b.dist) remeasured in
+              let sorted =
+                List.sort (fun a b -> Float.compare a.dist b.dist) remeasured
+              in
               row.(digit) <- sorted;
               (match sorted with
               | p :: _ when not (Node_id.equal p.id old_primary.id) -> incr changed
@@ -158,9 +161,15 @@ let holes t =
   let acc = ref [] in
   Array.iteri
     (fun level row ->
-      Array.iteri (fun digit es -> if es = [] then acc := (level, digit) :: !acc) row)
+      Array.iteri
+        (fun digit es ->
+          match es with [] -> acc := (level, digit) :: !acc | _ :: _ -> ())
+        row)
     t.slots;
   List.rev !acc
+
+let inject_slot_for_test t ~level ~digit entries =
+  t.slots.(level).(digit) <- entries
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>table of %s:@," (Node_id.to_string t.owner);
@@ -171,7 +180,9 @@ let pp ppf t =
         |> List.concat_map (fun es ->
                List.map (fun e -> Node_id.to_string e.id) es)
       in
-      if cells <> [] then
-        Format.fprintf ppf "  L%d: %s@," (level + 1) (String.concat " " cells))
+      match cells with
+      | [] -> ()
+      | _ :: _ ->
+          Format.fprintf ppf "  L%d: %s@," (level + 1) (String.concat " " cells))
     t.slots;
   Format.fprintf ppf "@]"

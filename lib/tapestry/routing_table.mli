@@ -70,4 +70,9 @@ val entry_count : t -> int
 val holes : t -> (int * int) list
 (** All empty slots as [(level, digit)] pairs. *)
 
+val inject_slot_for_test : t -> level:int -> digit:int -> entry list -> unit
+(** Fault injection for {!Audit} tests only: overwrite a slot verbatim,
+    bypassing ordering and backpointer bookkeeping.  Never call this from
+    protocol code — it deliberately lets tests corrupt the mesh. *)
+
 val pp : Format.formatter -> t -> unit

@@ -52,8 +52,9 @@ let reachable_everywhere net guid =
         (Network.alive_nodes net))
 
 let availability net ~guids ~samples =
-  if guids = [] then 1.0
-  else
+  match guids with
+  | [] -> 1.0
+  | _ :: _ ->
     Network.without_charging net (fun () ->
         let hits = ref 0 in
         for _ = 1 to samples do

@@ -30,7 +30,8 @@ let test_chord_lookup_owner () =
   let ch, _ = build_chord () in
   (* the lookup answer must be the key's true successor on the ring *)
   let keys =
-    List.sort compare (List.map Baselines.Chord.node_key (Baselines.Chord.nodes ch))
+    List.sort Int.compare
+      (List.map Baselines.Chord.node_key (Baselines.Chord.nodes ch))
   in
   let true_successor k =
     match List.find_opt (fun nk -> nk >= k) keys with

@@ -122,7 +122,7 @@ let test_get_next_list_matches_oracle () =
     |> List.filter (fun (m : Node.t) ->
            Node_id.common_prefix_len m.Node.id probe.Node.id >= level)
     |> List.map (fun m -> (Network.dist net probe m, m))
-    |> List.sort compare
+    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
     |> List.filteri (fun i _ -> i < k)
     |> List.map snd
   in

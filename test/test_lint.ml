@@ -1,0 +1,127 @@
+(* Unit tests for the lint rule engine (tools/lint/lint_core.ml): each rule
+   fires on a minimal trigger, the self-defined-compare suppression works,
+   the determinism exemption works, and the allowlist matches by rule and
+   path suffix.  The seeded fixture is also linted from here, so the rule
+   set and the fixture cannot drift apart silently. *)
+
+let rules_of ?determinism_exempt src =
+  Lint_core.lint_string ~file:"lib/tapestry/sample.ml" ?determinism_exempt src
+  |> List.map (fun v -> v.Lint_core.rule)
+
+let check_rules name expected src =
+  Alcotest.(check (list string)) name expected (rules_of src)
+
+let test_poly_compare () =
+  check_rules "bare compare" [ "poly-compare" ] "let f xs = List.sort compare xs";
+  check_rules "Stdlib.compare" [ "poly-compare" ]
+    "let f xs = List.sort Stdlib.compare xs";
+  check_rules "qualified is fine" [] "let f xs = List.sort Int.compare xs"
+
+let test_local_compare_suppression () =
+  check_rules "self-defined compare is suppressed" []
+    "let compare a b = Int.compare a b\nlet f xs = List.sort compare xs";
+  (* ... but a Stdlib-qualified use is still polymorphic and still flagged *)
+  check_rules "Stdlib.compare not suppressed by a local compare"
+    [ "poly-compare" ]
+    "let compare a b = Int.compare a b\nlet f xs = List.sort Stdlib.compare xs"
+
+let test_poly_eq_functions () =
+  check_rules "List.mem" [ "poly-eq-fn" ] "let f x xs = List.mem x xs";
+  check_rules "List.assoc" [ "poly-eq-fn" ] "let f k xs = List.assoc k xs";
+  check_rules "List.mem_assoc" [ "poly-eq-fn" ] "let f k xs = List.mem_assoc k xs";
+  check_rules "Hashtbl.hash" [ "poly-eq-fn" ] "let f x = Hashtbl.hash x";
+  check_rules "bare = as function value" [ "poly-eq-fn" ]
+    "let f xs = List.exists (( = ) 1) xs";
+  (* a saturated [=] on non-list operands is the type checker's business *)
+  check_rules "saturated int equality not flagged" [] "let f a b = a = b"
+
+let test_eq_empty_list () =
+  check_rules "xs = []" [ "eq-empty-list" ] "let f xs = xs = []";
+  check_rules "xs <> []" [ "eq-empty-list" ] "let f xs = xs <> []";
+  check_rules "[] on the left" [ "eq-empty-list" ] "let f xs = [] = xs";
+  check_rules "match is the fix, not a violation" []
+    "let f xs = match xs with [] -> true | _ :: _ -> false"
+
+let test_ambient_sources () =
+  check_rules "Random.int" [ "ambient-rng" ] "let f () = Random.int 10";
+  check_rules "Stdlib.Random" [ "ambient-rng" ] "let f () = Stdlib.Random.bool ()";
+  check_rules "Sys.time" [ "ambient-time" ] "let f () = Sys.time ()";
+  check_rules "Unix.gettimeofday" [ "ambient-time" ]
+    "let f () = Unix.gettimeofday ()";
+  Alcotest.(check (list string)) "exempt module may use ambient sources" []
+    (rules_of ~determinism_exempt:true "let f () = Random.int 10 + int_of_float (Sys.time ())")
+
+let test_parse_error () =
+  check_rules "unparsable file" [ "parse-error" ] "let f = ("
+
+let test_allowlist () =
+  let al =
+    Lint_core.parse_allowlist
+      "# comment line\n\nambient-time bin/tapestry_sim.ml\npoly-compare lib/foo.ml\n"
+  in
+  let v ~file ~rule =
+    { Lint_core.file; line = 1; col = 0; rule; message = "m" }
+  in
+  Alcotest.(check bool) "match by rule and path suffix" true
+    (Lint_core.allowed al (v ~file:"/root/repo/bin/tapestry_sim.ml" ~rule:"ambient-time"));
+  Alcotest.(check bool) "same file, different rule" false
+    (Lint_core.allowed al (v ~file:"/root/repo/bin/tapestry_sim.ml" ~rule:"ambient-rng"));
+  Alcotest.(check bool) "same rule, different file" false
+    (Lint_core.allowed al (v ~file:"lib/bar.ml" ~rule:"poly-compare"))
+
+let test_missing_mlis () =
+  let vs =
+    Lint_core.missing_mlis
+      ~mls:[ "lib/a.ml"; "lib/b.ml" ]
+      ~mlis:[ "lib/a.mli" ]
+  in
+  Alcotest.(check (list string)) "only the uncovered module"
+    [ "missing-mli" ]
+    (List.map (fun v -> v.Lint_core.rule) vs);
+  Alcotest.(check (list string)) "names the .ml" [ "lib/b.ml" ]
+    (List.map (fun v -> v.Lint_core.file) vs)
+
+let test_violation_format () =
+  match Lint_core.lint_string ~file:"lib/x.ml" "let f xs = xs = []" with
+  | [ v ] ->
+      let s = Lint_core.to_string v in
+      let prefix = "lib/x.ml:1: eq-empty-list" in
+      Alcotest.(check string) "file:line: rule-id prefix" prefix
+        (String.sub s 0 (String.length prefix))
+  | _ -> Alcotest.fail "expected one violation"
+
+let test_seeded_fixture () =
+  (* the dune @runtest rule asserts the CLI exits 1 on this fixture; here we
+     assert the engine sees every rule the fixture seeds *)
+  let ic = open_in "../tools/lint/fixtures/seeded.ml" in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let vs = Lint_core.lint_string ~file:"tools/lint/fixtures/seeded.ml" src in
+  let fired = List.sort_uniq String.compare (List.map (fun v -> v.Lint_core.rule) vs) in
+  Alcotest.(check (list string)) "fixture covers every expression rule"
+    [ "ambient-rng"; "ambient-time"; "eq-empty-list"; "poly-compare"; "poly-eq-fn" ]
+    fired;
+  Alcotest.(check bool) "fixture seeds many violations" true (List.length vs >= 10)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "local compare suppression" `Quick
+            test_local_compare_suppression;
+          Alcotest.test_case "poly-eq functions" `Quick test_poly_eq_functions;
+          Alcotest.test_case "eq-empty-list" `Quick test_eq_empty_list;
+          Alcotest.test_case "ambient rng/time" `Quick test_ambient_sources;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "missing mlis" `Quick test_missing_mlis;
+          Alcotest.test_case "violation format" `Quick test_violation_format;
+          Alcotest.test_case "seeded fixture" `Quick test_seeded_fixture;
+        ] );
+    ]

@@ -46,9 +46,9 @@ let prop_salt_deterministic =
 let prop_heap_sorts =
   QCheck.Test.make ~count ~name:"heap drains in sorted order"
     QCheck.(list int) (fun xs ->
-      let h = Simnet.Heap.create ~cmp:compare in
+      let h = Simnet.Heap.create ~cmp:Int.compare in
       List.iter (fun x -> Simnet.Heap.push h x x) xs;
-      List.map fst (Simnet.Heap.to_sorted_list h) = List.sort compare xs)
+      List.map fst (Simnet.Heap.to_sorted_list h) = List.sort Int.compare xs)
 
 (* --- Stats --- *)
 
@@ -106,7 +106,7 @@ let prop_index_digits_after =
                 if Node_id.has_prefix id ~prefix ~len then Some (Node_id.digit id len)
                 else None)
               ids
-            |> List.sort_uniq compare
+            |> List.sort_uniq Int.compare
           in
           got = want)
         [ 0; 1; 2 ])
@@ -144,21 +144,24 @@ let prop_table_keeps_r_closest =
                    let id = Node_id.of_string ~base:16 ids in
                    if Node_id.digit id 0 = digit then (d, ids) :: acc else acc)
                  seen []
-               |> List.sort compare
+               |> List.sort (fun (d1, i1) (d2, i2) ->
+                      match Float.compare d1 d2 with
+                      | 0 -> String.compare i1 i2
+                      | c -> c)
                |> List.filteri (fun i _ -> i < 3)
-               |> List.map snd |> List.sort compare
+               |> List.map snd |> List.sort String.compare
              in
              let expected =
                if digit = 0 then
                  (* owner's own slot also carries the owner itself *)
-                 List.sort compare (Node_id.to_string owner :: expected)
+                 List.sort String.compare (Node_id.to_string owner :: expected)
                  |> List.filteri (fun i _ -> i < 999)
                else expected
              in
              let got =
                Routing_table.slot t ~level:0 ~digit
                |> List.map (fun (e : Routing_table.entry) -> Node_id.to_string e.Routing_table.id)
-               |> List.sort compare
+               |> List.sort String.compare
              in
              (* owner slot may hold self + up to R others; compare as sets on
                 the non-owner slots only *)
@@ -176,7 +179,7 @@ let prop_incremental_p1 =
       let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
       let addrs = List.init n (fun i -> i) in
       let net, _ = Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs in
-      Network.check_property1 net = [])
+      match Network.check_property1 net with [] -> true | _ :: _ -> false)
 
 let prop_unique_roots_random_nets =
   QCheck.Test.make ~count:12 ~name:"random networks give unique roots"
@@ -220,7 +223,7 @@ let prop_join_leave_p1 =
             if v.Node.status = Node.Active then ignore (Delete.voluntary net v)
           end)
         ops;
-      Network.check_property1 net = [])
+      match Network.check_property1 net with [] -> true | _ :: _ -> false)
 
 let prop_publish_locate_total =
   QCheck.Test.make ~count:10 ~name:"published objects are always locatable"

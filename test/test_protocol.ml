@@ -314,12 +314,12 @@ let test_multi_replica_all_pointers_kept () =
   let root = (Route.route_to_root net ~from:(List.hd servers) guid).Route.root in
   let recs = Pointer_store.find_guid root.Node.pointers guid in
   let distinct =
-    List.sort_uniq compare
+    List.sort_uniq String.compare
       (List.map (fun (r : Pointer_store.record) -> Node_id.to_string r.Pointer_store.server) recs)
   in
   Alcotest.(check int) "root holds all copies"
     (List.length
-       (List.sort_uniq compare
+       (List.sort_uniq String.compare
           (List.map (fun (s : Node.t) -> Node_id.to_string s.Node.id) servers)))
     (List.length distinct)
 

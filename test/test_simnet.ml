@@ -7,13 +7,13 @@ let check_float = Alcotest.(check (float 1e-9))
 (* --- Heap --- *)
 
 let test_heap_order () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:Int.compare in
   List.iter (fun k -> Heap.push h k k) [ 5; 1; 4; 1; 3; 9; 0 ];
   let keys = List.map fst (Heap.to_sorted_list h) in
   Alcotest.(check (list int)) "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ] keys
 
 let test_heap_stability () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:Int.compare in
   Heap.push h 1 "first";
   Heap.push h 1 "second";
   Heap.push h 1 "third";
@@ -22,7 +22,7 @@ let test_heap_stability () =
     [ "first"; "second"; "third" ] vals
 
 let test_heap_peek_pop () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:Int.compare in
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
   Alcotest.(check (option (pair int string))) "peek empty" None (Heap.peek h);
   Heap.push h 2 "b";
@@ -33,13 +33,13 @@ let test_heap_peek_pop () =
   Alcotest.(check (option (pair int string))) "next" (Some (2, "b")) (Heap.peek h)
 
 let test_heap_pop_exn_empty () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:Int.compare in
   Alcotest.check_raises "pop_exn raises"
     (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
       ignore (Heap.pop_exn h))
 
 let test_heap_large () =
-  let h = Heap.create ~cmp:compare in
+  let h = Heap.create ~cmp:Int.compare in
   let rng = Rng.create 1 in
   for _ = 1 to 5000 do
     let k = Rng.int rng 1000 in
@@ -81,7 +81,7 @@ let test_rng_shuffle_permutation () =
   let a = Array.init 100 (fun i -> i) in
   Rng.shuffle rng a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
 
 let test_rng_exponential_positive () =

@@ -144,7 +144,8 @@ let test_experiments_produce_tables () =
           () (* heavyweight even in quick mode; covered by bench runs *)
       | name ->
           let tables = Evaluation.Experiment.by_name Evaluation.Experiment.Quick name in
-          Alcotest.(check bool) (name ^ " yields tables") true (tables <> []);
+          Alcotest.(check bool) (name ^ " yields tables") true
+            (match tables with [] -> false | _ :: _ -> true);
           List.iter
             (fun t ->
               Alcotest.(check bool)

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# One-command repo health check: build, tests, lint.
+# Run from the repo root: ./tools/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune build @lint
+echo "check: build + tests + lint all clean"

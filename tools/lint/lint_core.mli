@@ -1,0 +1,50 @@
+(** Rule engine for the repo lint pass (see DESIGN.md "Correctness
+    tooling").  Parses OCaml sources with compiler-libs and flags
+    constructs that can silently break the mesh invariants:
+
+    - [poly-compare]: unqualified or [Stdlib]-qualified polymorphic
+      [compare];
+    - [poly-eq-fn]: [List.mem]/[List.assoc] family, [Hashtbl.hash], and
+      bare [(=)]/[(<>)] used as function values;
+    - [eq-empty-list]: [e = []] / [e <> []] structural comparisons;
+    - [ambient-rng] / [ambient-time]: [Stdlib.Random], [Unix.gettimeofday],
+      [Unix.time], [Sys.time] outside the sanctioned RNG module
+      (deterministic replay, Section 4.4 / Theorem 6);
+    - [missing-mli]: a library module without an interface;
+    - [parse-error]: the file does not parse.
+
+    The expression rules are syntactic approximations; intentional
+    exceptions go in the allowlist file. *)
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+val rule_ids : string list
+
+val to_string : violation -> string
+(** ["file:line: rule-id message"], the format the CLI prints. *)
+
+type allowlist
+
+val parse_allowlist : string -> allowlist
+(** One entry per line: ["<rule-id> <path-suffix>"]; ['#'] comments. *)
+
+val allowed : allowlist -> violation -> bool
+
+val lint_string :
+  file:string -> ?determinism_exempt:bool -> string -> violation list
+(** Parse [content] as an implementation and run the expression rules.
+    [determinism_exempt] disables [ambient-rng]/[ambient-time] (used for
+    the sanctioned RNG module). *)
+
+val missing_mlis : mls:string list -> mlis:string list -> violation list
+(** [missing-mli] violations for every path in [mls] without a matching
+    [.mli] in [mlis]. *)
+
+val compare_violations : violation -> violation -> int
+(** Order by file, line, column, rule (for stable output). *)
