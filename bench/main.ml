@@ -7,16 +7,25 @@
       These print the same rows/series the paper reports.
 
    2. Bechamel microbenchmarks of the core operations (route, publish,
-      locate, insert, multicast, Chord lookup) on a prebuilt network.
+      locate, insert, multicast, Chord lookup, alive sampling, the
+      surrogate oracle) on a prebuilt network.  The "naive" entries
+      re-create the pre-index costs (alive-list rebuild per sample, core
+      trie rebuild per oracle call) so the win of the incremental
+      structures is visible in one run.
 
    Run `dune exec bench/main.exe` for the quick profile (CI-sized);
    `dune exec bench/main.exe -- --full` for paper-scale runs;
    `dune exec bench/main.exe -- --only table1,stretch` to select tables;
-   `--no-micro` / `--no-tables` skip one half. *)
+   `--no-micro` / `--no-tables` skip one half;
+   `--domains D` spreads parallelizable tables over D cores (same output);
+   `--json FILE` also writes machine-readable results;
+   `--check-json FILE` parses a previously written FILE and exits. *)
 
 open Tapestry
 
-let usage = "main.exe [--full] [--seed N] [--only a,b,c] [--no-micro] [--no-tables]"
+let usage =
+  "main.exe [--full] [--seed N] [--only a,b,c] [--no-micro] [--no-tables]\n\
+  \        [--domains D] [--quota SECONDS] [--json FILE] [--check-json FILE]"
 
 type options = {
   mutable mode : Evaluation.Experiment.mode;
@@ -24,6 +33,10 @@ type options = {
   mutable only : string list;
   mutable micro : bool;
   mutable tables : bool;
+  mutable domains : int;
+  mutable quota : float;
+  mutable json : string option;
+  mutable check_json : string option;
 }
 
 let parse_args () =
@@ -34,6 +47,10 @@ let parse_args () =
       only = [];
       micro = true;
       tables = true;
+      domains = 1;
+      quota = 0.25;
+      json = None;
+      check_json = None;
     }
   in
   let rec go = function
@@ -52,6 +69,19 @@ let parse_args () =
         go rest
     | "--no-tables" :: rest ->
         o.tables <- false;
+        go rest
+    | "--domains" :: v :: rest ->
+        let d = int_of_string v in
+        o.domains <- (if d = 0 then Simnet.Parallel.recommended () else d);
+        go rest
+    | "--quota" :: v :: rest ->
+        o.quota <- float_of_string v;
+        go rest
+    | "--json" :: v :: rest ->
+        o.json <- Some v;
+        go rest
+    | "--check-json" :: v :: rest ->
+        o.check_json <- Some v;
         go rest
     | "--help" :: _ ->
         Printf.printf "usage: %s\nexperiments: %s\n" usage
@@ -114,6 +144,38 @@ let micro_tests seed =
            let prefix = Node_id.digits anchor.Node.id in
            ignore (Multicast.run net ~start:anchor ~prefix ~len:1 ~apply:ignore)))
   in
+  (* The swap-remove alive array vs the old fold-then-pick: both draw a
+     uniform alive node, but the naive version pays O(n) per sample. *)
+  let random_alive_test =
+    Test.make ~name:"random_alive (n=256)"
+      (Staged.stage (fun () -> ignore (Network.random_alive net)))
+  in
+  let random_alive_naive_test =
+    Test.make ~name:"random_alive naive rebuild (n=256)"
+      (Staged.stage (fun () ->
+           let alive =
+             Node_id.Tbl.fold
+               (fun _ (nd : Node.t) acc -> if Node.is_alive nd then nd :: acc else acc)
+               net.Network.nodes []
+           in
+           ignore (Simnet.Rng.pick_list net.Network.rng alive)))
+  in
+  (* The incremental core trie vs rebuilding it per oracle call (what the
+     oracle had to do before the index became part of the network). *)
+  let surrogate_test =
+    Test.make ~name:"surrogate_oracle (n=256)"
+      (Staged.stage (fun () ->
+           ignore (Network.surrogate_oracle net (next_guid ()))))
+  in
+  let surrogate_rebuild_test =
+    Test.make ~name:"surrogate_oracle + index rebuild (n=256)"
+      (Staged.stage (fun () ->
+           let idx = Id_index.create ~base:cfg.Config.base in
+           List.iter
+             (fun (nd : Node.t) -> Id_index.add idx nd.Node.id)
+             (Network.core_nodes net);
+           ignore (Network.surrogate_oracle net (next_guid ()))))
+  in
   (* insert+delete cycle on a side network so [net] stays stable *)
   let net2, _ =
     Insert.build_incremental ~seed:(seed + 7) Config.default metric
@@ -138,31 +200,138 @@ let micro_tests seed =
            let from = Baselines.Chord.random_node ch in
            ignore (Baselines.Chord.lookup ch ~from (!i * 7919 land 0xFFFFFF))))
   in
-  [ route_test; locate_test; publish_test; multicast_test; insert_test; chord_test ]
+  [
+    route_test; locate_test; publish_test; multicast_test; random_alive_test;
+    random_alive_naive_test; surrogate_test; surrogate_rebuild_test;
+    insert_test; chord_test;
+  ]
 
-let run_micro seed =
+let run_micro ~quota seed =
   let open Bechamel in
   let tests = micro_tests seed in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 100) () in
   print_endline "== B1: Bechamel microbenchmarks (ns/op, OLS on monotonic clock) ==";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
-          let raw = Benchmark.run cfg [ instance ] elt in
-          let est = Analyze.one ols instance raw in
           let ns =
-            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+            try
+              let raw = Benchmark.run cfg [ instance ] elt in
+              let est = Analyze.one ols instance raw in
+              match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+            with _ -> nan
           in
-          Printf.printf "  %-34s %12.0f ns/op\n%!" (Test.Elt.name elt) ns)
+          Printf.printf "  %-42s %12.0f ns/op\n%!" (Test.Elt.name elt) ns;
+          (Test.Elt.name elt, ns))
         (Test.elements test))
     tests
 
+(* --- table half, timed per experiment --- *)
+
+let run_tables o =
+  let which =
+    match o.only with [] -> Evaluation.Experiment.names | _ :: _ -> o.only
+  in
+  List.map
+    (fun name ->
+      let t0 = Sys.time () in
+      let tables =
+        Evaluation.Experiment.by_name ~seed:o.seed ~domains:o.domains o.mode name
+      in
+      let dt = Sys.time () -. t0 in
+      List.iter Simnet.Stats.Table.print tables;
+      print_newline ();
+      (name, dt, List.length tables))
+    which
+
+(* --- machine-readable results --- *)
+
+let json_schema = "tapestry-bench/1"
+
+let emit_json o ~micro ~tables file =
+  let open Simnet.Json in
+  let doc =
+    Obj
+      [
+        ("schema", String json_schema);
+        ("seed", Int o.seed);
+        ( "mode",
+          String
+            (match o.mode with
+            | Evaluation.Experiment.Quick -> "quick"
+            | Full -> "full") );
+        ("domains", Int o.domains);
+        ( "micro",
+          List
+            (List.map
+               (fun (name, ns) ->
+                 Obj [ ("name", String name); ("ns_per_op", Float ns) ])
+               micro) );
+        ( "tables",
+          List
+            (List.map
+               (fun (name, dt, k) ->
+                 Obj
+                   [
+                     ("experiment", String name);
+                     ("cpu_seconds", Float dt);
+                     ("tables", Int k);
+                   ])
+               tables) );
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (to_string doc);
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let check_json file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Simnet.Json.parse text with
+  | Error msg ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+      exit 2
+  | Ok doc -> (
+      let member = Simnet.Json.member in
+      (match member "schema" doc with
+      | Some (Simnet.Json.String s) when String.equal s json_schema -> ()
+      | _ ->
+          Printf.eprintf "%s: missing or unexpected \"schema\"\n" file;
+          exit 2);
+      match (member "micro" doc, member "tables" doc) with
+      | Some (Simnet.Json.List micro), Some (Simnet.Json.List tables) ->
+          let named field j =
+            match member field j with
+            | Some (Simnet.Json.String _) -> true
+            | _ -> false
+          in
+          if not (List.for_all (named "name") micro) then begin
+            Printf.eprintf "%s: a micro entry lacks \"name\"\n" file;
+            exit 2
+          end;
+          if not (List.for_all (named "experiment") tables) then begin
+            Printf.eprintf "%s: a table entry lacks \"experiment\"\n" file;
+            exit 2
+          end;
+          Printf.printf "%s: ok (%d micro, %d table entries)\n" file
+            (List.length micro) (List.length tables)
+      | _ ->
+          Printf.eprintf "%s: missing \"micro\"/\"tables\" arrays\n" file;
+          exit 2)
+
 let () =
   let o = parse_args () in
-  if o.tables then Evaluation.Experiment.run_and_print ~seed:o.seed o.mode o.only;
-  if o.micro then run_micro o.seed
+  match o.check_json with
+  | Some file -> check_json file
+  | None ->
+      let tables = if o.tables then run_tables o else [] in
+      let micro = if o.micro then run_micro ~quota:o.quota o.seed else [] in
+      Option.iter (emit_json o ~micro ~tables) o.json

@@ -24,6 +24,14 @@ let mode_arg =
     & opt mode_conv Evaluation.Experiment.Quick
     & info [ "mode" ] ~docv:"MODE" ~doc:"Experiment scale: quick or full.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Run parallelizable experiments on D domains (cores). Output is \
+           bit-identical to D=1; 0 means the runtime's recommended count.")
+
 (* --- exp --- *)
 
 let exp_cmd =
@@ -41,10 +49,13 @@ let exp_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into DIR.")
   in
-  let run seed mode csv names =
+  let run seed mode domains csv names =
+    let domains =
+      if domains = 0 then Simnet.Parallel.recommended () else domains
+    in
     try
       (match csv with
-      | None -> Evaluation.Experiment.run_and_print ~seed mode names
+      | None -> Evaluation.Experiment.run_and_print ~seed ~domains mode names
       | Some dir ->
           if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
           let names =
@@ -52,7 +63,7 @@ let exp_cmd =
           in
           List.iter
             (fun name ->
-              let ts = Evaluation.Experiment.by_name ~seed mode name in
+              let ts = Evaluation.Experiment.by_name ~seed ~domains mode name in
               List.iteri
                 (fun i t ->
                   Simnet.Stats.Table.print t;
@@ -72,7 +83,8 @@ let exp_cmd =
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Run reproduction experiments and print their tables.")
-    Term.(term_result (const run $ seed_arg $ mode_arg $ csv_arg $ names))
+    Term.(
+      term_result (const run $ seed_arg $ mode_arg $ domains_arg $ csv_arg $ names))
 
 (* --- build --- *)
 

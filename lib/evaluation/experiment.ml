@@ -4,6 +4,7 @@ module Cost = Simnet.Cost
 module Rng = Simnet.Rng
 module Topology = Simnet.Topology
 module Metric = Simnet.Metric
+module Parallel = Simnet.Parallel
 
 type mode = Quick | Full
 
@@ -47,15 +48,20 @@ let tapestry_stretch ?variant net (q : Workload.query) =
 (* E1: Table 1, measured                                               *)
 (* ------------------------------------------------------------------ *)
 
-let table1 ?(seed = 42) mode =
+let table1 ?(seed = 42) ?(domains = 1) mode =
   let sizes = pick mode ~quick:[ 64; 128 ] ~full:[ 64; 128; 256; 512; 1024 ] in
   let t =
     Stats.Table.create ~title:"E1 / Table 1 (measured): object location systems"
       ~columns:
         [ "scheme"; "n"; "insert msgs"; "space/node"; "lookup hops"; "load gini" ]
   in
-  List.iter
-    (fun n ->
+  (* Sizes are independent (each builds its own networks and rngs), so they
+     run as parallel tasks; rows join back in size order, keeping the table
+     identical whatever [domains] is. *)
+  let row_groups =
+    Parallel.map_list ~domains sizes ~f:(fun _ n ->
+      let rows = ref [] in
+      let emit r = rows := r :: !rows in
       (* --- Tapestry --- *)
       let net, metric, reports = build_tapestry ~seed ~kind:Uniform_square ~n () in
       let insert_msgs = late_mean reports (fun r -> float_of_int r.Insert.cost.Cost.messages) in
@@ -83,7 +89,7 @@ let table1 ?(seed = 42) mode =
         Network.alive_nodes net
         |> List.map (fun (nd : Node.t) -> float_of_int (Pointer_store.size nd.Node.pointers))
       in
-      Stats.Table.add_row t
+      emit
         [ "tapestry"; string_of_int n; f insert_msgs; f space; f hops;
           f (Stats.gini pointer_loads) ];
       (* --- Chord on the same metric --- *)
@@ -122,7 +128,7 @@ let table1 ?(seed = 42) mode =
         |> List.map (fun nd -> float_of_int (Baselines.Chord.table_size nd))
         |> Stats.mean
       in
-      Stats.Table.add_row t
+      emit
         [ "chord"; string_of_int n; f (Stats.mean !join_costs); f chord_space;
           f chord_hops; "-" ];
       (* --- Pastry on the same metric --- *)
@@ -152,7 +158,7 @@ let table1 ?(seed = 42) mode =
         |> List.map (fun nd -> float_of_int (Baselines.Pastry.table_size nd))
         |> Stats.mean
       in
-      Stats.Table.add_row t
+      emit
         [ "pastry"; string_of_int n; f (Stats.mean !pastry_join); f pastry_space;
           f pastry_hops; "-" ];
       (* --- CAN on the same metric --- *)
@@ -178,7 +184,7 @@ let table1 ?(seed = 42) mode =
         |> List.map (fun nd -> float_of_int (Baselines.Can.table_size nd))
         |> Stats.mean
       in
-      Stats.Table.add_row t
+      emit
         [ "can (d=2)"; string_of_int n; f (Stats.mean !can_join); f can_space;
           f can_hops; "-" ];
       (* --- Central directory --- *)
@@ -188,17 +194,19 @@ let table1 ?(seed = 42) mode =
       List.iteri
         (fun i _ -> Baselines.Central_directory.publish dir ~server_addr:(i mod n) ~guid_key:i)
         (List.init n (fun i -> i));
-      Stats.Table.add_row t
+      emit
         [ "central-dir"; string_of_int n; "1";
           Printf.sprintf "%d@dir" (Baselines.Central_directory.directory_entries dir);
           "2"; "1.0" ];
       (* --- Broadcast --- *)
       let bc = Baselines.Broadcast.create ~n metric in
       Baselines.Broadcast.publish bc ~server_addr:0 ~guid_key:1;
-      Stats.Table.add_row t
+      emit
         [ "broadcast"; string_of_int n; string_of_int (n - 1);
-          Printf.sprintf "%d*objs" 1; "1"; "0.0" ])
-    sizes;
+          Printf.sprintf "%d*objs" 1; "1"; "0.0" ];
+      List.rev !rows)
+  in
+  List.iter (List.iter (Stats.Table.add_row t)) row_groups;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
@@ -458,7 +466,7 @@ let nn_k ?(seed = 42) mode =
 (* E4: insertion scaling                                               *)
 (* ------------------------------------------------------------------ *)
 
-let insert_scaling ?(seed = 42) mode =
+let insert_scaling ?(seed = 42) ?(domains = 1) mode =
   let sizes = pick mode ~quick:[ 32; 64; 128 ] ~full:[ 32; 64; 128; 256; 512; 1024 ] in
   let t =
     Stats.Table.create
@@ -467,22 +475,23 @@ let insert_scaling ?(seed = 42) mode =
         [ "n"; "insert msgs"; "msgs/log2(n)^2"; "insert latency"; "latency/diam";
           "mcast reached" ]
   in
-  let points = ref [] in
-  List.iter
-    (fun n ->
-      let net, metric, reports = build_tapestry ~seed ~kind:Uniform_square ~n () in
-      ignore net;
-      let msgs = late_mean reports (fun r -> float_of_int r.Insert.cost.Cost.messages) in
-      let lat = late_mean reports (fun r -> r.Insert.cost.Cost.latency) in
-      let reached = late_mean reports (fun r -> float_of_int r.Insert.multicast_reached) in
-      let rng = Rng.create (seed + 5) in
-      let diam = Metric.diameter metric ~sample:2000 ~rng in
-      points := (log (float_of_int n), log msgs) :: !points;
-      Stats.Table.add_row t
-        [ string_of_int n; f msgs; f (msgs /. (log2 n ** 2.)); f lat;
-          f (lat /. diam); f reached ])
-    sizes;
-  let slope, _ = Stats.linear_fit !points in
+  (* One task per size, joined in size order; the log-log fit is computed
+     after the join so the table is independent of [domains]. *)
+  let results =
+    Parallel.map_list ~domains sizes ~f:(fun _ n ->
+        let net, metric, reports = build_tapestry ~seed ~kind:Uniform_square ~n () in
+        ignore net;
+        let msgs = late_mean reports (fun r -> float_of_int r.Insert.cost.Cost.messages) in
+        let lat = late_mean reports (fun r -> r.Insert.cost.Cost.latency) in
+        let reached = late_mean reports (fun r -> float_of_int r.Insert.multicast_reached) in
+        let rng = Rng.create (seed + 5) in
+        let diam = Metric.diameter metric ~sample:2000 ~rng in
+        ( (log (float_of_int n), log msgs),
+          [ string_of_int n; f msgs; f (msgs /. (log2 n ** 2.)); f lat;
+            f (lat /. diam); f reached ] ))
+  in
+  List.iter (fun (_, row) -> Stats.Table.add_row t row) results;
+  let slope, _ = Stats.linear_fit (List.map fst results) in
   Stats.Table.add_row t
     [ "log-log slope"; f slope; "-"; "-"; "-"; "-" ];
   [ t ]
@@ -750,7 +759,7 @@ let concurrent_insert ?(seed = 42) mode =
 (* E9: PRR v.0 on general metrics                                      *)
 (* ------------------------------------------------------------------ *)
 
-let prr_v0 ?(seed = 42) mode =
+let prr_v0 ?(seed = 42) ?(domains = 1) mode =
   let n = pick mode ~quick:100 ~full:300 in
   let queries = pick mode ~quick:100 ~full:400 in
   let t =
@@ -762,8 +771,13 @@ let prr_v0 ?(seed = 42) mode =
       ~columns:
         [ "metric"; "scheme"; "mean stretch"; "p90 stretch"; "space/node"; "found" ]
   in
-  List.iter
-    (fun kind ->
+  (* Each metric kind builds its own topologies and rngs: one task per kind. *)
+  let row_groups =
+    Parallel.map_list ~domains
+      [ Topology.Random_metric; Topology.Star; Topology.Clustered ]
+      ~f:(fun _ kind ->
+      let rows = ref [] in
+      let emit r = rows := r :: !rows in
       let rng = Rng.create (seed + 17) in
       let metric = Topology.generate kind ~n ~rng in
       let kind_name = Topology.kind_name kind in
@@ -788,7 +802,7 @@ let prr_v0 ?(seed = 42) mode =
         end
       done;
       let s = Stats.summarize !stretches in
-      Stats.Table.add_row t
+      emit
         [ kind_name; "prr-v0"; f s.Stats.mean; f s.Stats.p90;
           f (Baselines.Prr_v0.space_per_node p);
           Printf.sprintf "%d/%d" !found !attempted ];
@@ -813,7 +827,7 @@ let prr_v0 ?(seed = 42) mode =
         end
       done;
       let s = Stats.summarize !stretches in
-      Stats.Table.add_row t
+      emit
         [ kind_name; "thorup-zwick"; f s.Stats.mean; f s.Stats.p90;
           f (Baselines.Thorup_zwick.space_per_node tz);
           Printf.sprintf "%d/%d" !found !attempted ];
@@ -832,10 +846,12 @@ let prr_v0 ?(seed = 42) mode =
         |> Stats.mean
       in
       let s = Stats.summarize tap in
-      Stats.Table.add_row t
+      emit
         [ kind_name; "tapestry"; f s.Stats.mean; f s.Stats.p90; f space;
-          Printf.sprintf "%d/%d" (List.length tap) queries ])
-    [ Topology.Random_metric; Topology.Star; Topology.Clustered ];
+          Printf.sprintf "%d/%d" (List.length tap) queries ];
+      List.rev !rows)
+  in
+  List.iter (List.iter (Stats.Table.add_row t)) row_groups;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
@@ -930,7 +946,7 @@ let stub_locality ?(seed = 42) mode =
 (* E11: table quality vs static oracle                                 *)
 (* ------------------------------------------------------------------ *)
 
-let table_quality ?(seed = 42) mode =
+let table_quality ?(seed = 42) ?(domains = 1) mode =
   let sizes = pick mode ~quick:[ 64; 128 ] ~full:[ 64; 128; 256; 512 ] in
   let t =
     Stats.Table.create
@@ -938,8 +954,10 @@ let table_quality ?(seed = 42) mode =
       ~columns:
         [ "n"; "P1 violations"; "optimal primaries"; "oracle-matched dist"; "NN correct" ]
   in
-  List.iter
-    (fun n ->
+  (* One task per size: both the incremental network and its static oracle
+     are local to the task. *)
+  let rows =
+    Parallel.map_list ~domains sizes ~f:(fun _ n ->
       let rng = Rng.create (seed + n) in
       let metric = Topology.generate Uniform_square ~n ~rng in
       let addrs = List.init n (fun i -> i) in
@@ -968,12 +986,12 @@ let table_quality ?(seed = 42) mode =
           | Some a, Some b when Node_id.equal a.Node.id b.Node.id -> incr nn_ok
           | _ -> ())
         (Network.alive_nodes net);
-      Stats.Table.add_row t
-        [ string_of_int n; string_of_int v1;
-          Printf.sprintf "%d/%d" !optimal !total;
-          Printf.sprintf "%.3f" quality;
-          Printf.sprintf "%d/%d" !nn_ok !nn_tot ])
-    sizes;
+      [ string_of_int n; string_of_int v1;
+        Printf.sprintf "%d/%d" !optimal !total;
+        Printf.sprintf "%.3f" quality;
+        Printf.sprintf "%d/%d" !nn_ok !nn_tot ])
+  in
+  List.iter (Stats.Table.add_row t) rows;
   [ t ]
 
 (* ------------------------------------------------------------------ *)
@@ -1219,7 +1237,7 @@ let continual_optimization ?(seed = 42) mode =
 (* E15: redundancy ablation — R, root-set size, fault tolerance        *)
 (* ------------------------------------------------------------------ *)
 
-let redundancy ?(seed = 42) mode =
+let redundancy ?(seed = 42) ?(domains = 1) mode =
   let n = pick mode ~quick:120 ~full:256 in
   let kill_frac = 0.15 in
   let probes = pick mode ~quick:200 ~full:500 in
@@ -1233,8 +1251,12 @@ let redundancy ?(seed = 42) mode =
         [ "R"; "roots"; "space/node"; "avail before"; "avail after kill";
           "after + repair" ]
   in
-  List.iter
-    (fun (r, roots, on_secondaries) ->
+  (* One task per (R, roots, placement) configuration. *)
+  let rows =
+    Parallel.map_list ~domains
+      [ (1, 1, false); (2, 1, false); (3, 1, false); (4, 1, false);
+        (3, 1, true); (3, 2, false); (3, 3, false) ]
+      ~f:(fun _ (r, roots, on_secondaries) ->
       let cfg = { Config.default with Config.redundancy = r; root_set_size = roots } in
       let rng = Rng.create (seed + r + (7 * roots)) in
       let metric = Topology.generate Uniform_square ~n ~rng in
@@ -1278,13 +1300,12 @@ let redundancy ?(seed = 42) mode =
             ()
           done);
       let repaired = Verify.availability net ~guids ~samples:probes in
-      Stats.Table.add_row t
-        [ (string_of_int r ^ if on_secondaries then "+sec" else "");
-          string_of_int roots; f space;
-          Printf.sprintf "%.4f" before; Printf.sprintf "%.4f" after;
-          Printf.sprintf "%.4f" repaired ])
-    [ (1, 1, false); (2, 1, false); (3, 1, false); (4, 1, false);
-      (3, 1, true); (3, 2, false); (3, 3, false) ];
+      [ (string_of_int r ^ if on_secondaries then "+sec" else "");
+        string_of_int roots; f space;
+        Printf.sprintf "%.4f" before; Printf.sprintf "%.4f" after;
+        Printf.sprintf "%.4f" repaired ])
+  in
+  List.iter (Stats.Table.add_row t) rows;
   [ t ]
 
 
@@ -1372,23 +1393,23 @@ let async_recovery ?(seed = 42) mode =
 
 (* ------------------------------------------------------------------ *)
 
-let all ?(seed = 42) mode =
+let all ?(seed = 42) ?(domains = 1) mode =
   [
-    ("table1", table1 ~seed mode);
+    ("table1", table1 ~seed ~domains mode);
     ("stretch", stretch ~seed mode);
     ("nn_k", nn_k ~seed mode);
-    ("insert_scaling", insert_scaling ~seed mode);
+    ("insert_scaling", insert_scaling ~seed ~domains mode);
     ("multicast", multicast ~seed mode);
     ("surrogate", surrogate ~seed mode);
     ("availability", availability ~seed mode);
     ("concurrent_insert", concurrent_insert ~seed mode);
-    ("prr_v0", prr_v0 ~seed mode);
+    ("prr_v0", prr_v0 ~seed ~domains mode);
     ("stub_locality", stub_locality ~seed mode);
-    ("table_quality", table_quality ~seed mode);
+    ("table_quality", table_quality ~seed ~domains mode);
     ("delete", delete ~seed mode);
     ("nn_vs_kr", nn_vs_kr ~seed mode);
     ("continual_optimization", continual_optimization ~seed mode);
-    ("redundancy", redundancy ~seed mode);
+    ("redundancy", redundancy ~seed ~domains mode);
     ("async_recovery", async_recovery ~seed mode);
   ]
 
@@ -1400,31 +1421,31 @@ let names =
     "async_recovery";
   ]
 
-let by_name ?(seed = 42) mode name =
+let by_name ?(seed = 42) ?(domains = 1) mode name =
   match name with
-  | "table1" -> table1 ~seed mode
+  | "table1" -> table1 ~seed ~domains mode
   | "stretch" -> stretch ~seed mode
   | "nn_k" -> nn_k ~seed mode
-  | "insert_scaling" -> insert_scaling ~seed mode
+  | "insert_scaling" -> insert_scaling ~seed ~domains mode
   | "multicast" -> multicast ~seed mode
   | "surrogate" -> surrogate ~seed mode
   | "availability" -> availability ~seed mode
   | "concurrent_insert" -> concurrent_insert ~seed mode
-  | "prr_v0" -> prr_v0 ~seed mode
+  | "prr_v0" -> prr_v0 ~seed ~domains mode
   | "stub_locality" -> stub_locality ~seed mode
-  | "table_quality" -> table_quality ~seed mode
+  | "table_quality" -> table_quality ~seed ~domains mode
   | "delete" -> delete ~seed mode
   | "nn_vs_kr" -> nn_vs_kr ~seed mode
   | "continual_optimization" -> continual_optimization ~seed mode
-  | "redundancy" -> redundancy ~seed mode
+  | "redundancy" -> redundancy ~seed ~domains mode
   | "async_recovery" -> async_recovery ~seed mode
   | other -> invalid_arg ("Experiment.by_name: unknown experiment " ^ other)
 
-let run_and_print ?(seed = 42) mode which =
+let run_and_print ?(seed = 42) ?(domains = 1) mode which =
   let which = match which with [] -> names | _ :: _ -> which in
   List.iter
     (fun name ->
-      let tables = by_name ~seed mode name in
+      let tables = by_name ~seed ~domains mode name in
       List.iter Stats.Table.print tables;
       print_newline ())
     which

@@ -4,11 +4,16 @@
     rendered {!Simnet.Stats.Table.t}s whose rows mirror what the paper
     reports (see DESIGN.md section 4 for the experiment index and
     EXPERIMENTS.md for paper-vs-measured).  [quick] shrinks sizes for test
-    and smoke use; experiments are deterministic given [seed]. *)
+    and smoke use; experiments are deterministic given [seed].
+
+    Experiments whose iterations are independent (one per size or
+    configuration) take [?domains] and spread iterations over that many
+    stdlib domains via {!Simnet.Parallel}; results are joined in iteration
+    order, so output is bit-identical whatever [domains] is (default 1). *)
 
 type mode = Quick | Full
 
-val table1 : ?seed:int -> mode -> Simnet.Stats.Table.t list
+val table1 : ?seed:int -> ?domains:int -> mode -> Simnet.Stats.Table.t list
 (** E1 — Table 1 empirically: per scheme and size, insert cost (messages),
     space per node (table entries), lookup hops, and pointer-load balance. *)
 
@@ -20,7 +25,7 @@ val nn_k : ?seed:int -> mode -> Simnet.Stats.Table.t list
 (** E3 — Lemma 1/Theorem 3: nearest-neighbor success and Property-1 backfill
     pressure as the list width k sweeps. *)
 
-val insert_scaling : ?seed:int -> mode -> Simnet.Stats.Table.t list
+val insert_scaling : ?seed:int -> ?domains:int -> mode -> Simnet.Stats.Table.t list
 (** E4 — insertion cost scaling: messages vs n with the log^2 n normalizer,
     latency vs network diameter. *)
 
@@ -40,7 +45,7 @@ val concurrent_insert : ?seed:int -> mode -> Simnet.Stats.Table.t list
 (** E8 — Theorem 6: batches of simultaneous insertions interleaved on the
     fiber scheduler keep Property 1. *)
 
-val prr_v0 : ?seed:int -> mode -> Simnet.Stats.Table.t list
+val prr_v0 : ?seed:int -> ?domains:int -> mode -> Simnet.Stats.Table.t list
 (** E9 — Theorem 7: PRR v.0 stretch and space on general (expansion-free)
     metrics, next to Tapestry on the same spaces. *)
 
@@ -48,7 +53,7 @@ val stub_locality : ?seed:int -> mode -> Simnet.Stats.Table.t list
 (** E10 — Section 6.3: intra-stub query latency with and without the
     local-branch optimization on transit-stub topologies. *)
 
-val table_quality : ?seed:int -> mode -> Simnet.Stats.Table.t list
+val table_quality : ?seed:int -> ?domains:int -> mode -> Simnet.Stats.Table.t list
 (** E11 — incremental construction vs the static oracle: Property-2 slot
     optimality and primary-distance quality. *)
 
@@ -64,7 +69,7 @@ val continual_optimization : ?seed:int -> mode -> Simnet.Stats.Table.t list
 (** E14 — Section 6.4: stretch/locality decay under drifting distances and
     recovery by each optimization heuristic, with maintenance cost. *)
 
-val redundancy : ?seed:int -> mode -> Simnet.Stats.Table.t list
+val redundancy : ?seed:int -> ?domains:int -> mode -> Simnet.Stats.Table.t list
 (** E15 — ablation of R (secondaries per slot) and root-set size
     (Observation 1): availability through silent mass failure. *)
 
@@ -73,14 +78,15 @@ val async_recovery : ?seed:int -> mode -> Simnet.Stats.Table.t list
     heartbeat and republish daemons (Sections 5.2/6.5); availability per
     virtual-time bucket shows the dip and the soft-state recovery. *)
 
-val all : ?seed:int -> mode -> (string * Simnet.Stats.Table.t list) list
+val all : ?seed:int -> ?domains:int -> mode -> (string * Simnet.Stats.Table.t list) list
 (** Every experiment in paper order, tagged with its id.  Runs everything —
     use {!by_name} to run one. *)
 
-val by_name : ?seed:int -> mode -> string -> Simnet.Stats.Table.t list
-(** Run one experiment. @raise Invalid_argument on an unknown name. *)
+val by_name : ?seed:int -> ?domains:int -> mode -> string -> Simnet.Stats.Table.t list
+(** Run one experiment; [domains] is ignored by experiments that don't
+    parallelize. @raise Invalid_argument on an unknown name. *)
 
-val run_and_print : ?seed:int -> mode -> string list -> unit
+val run_and_print : ?seed:int -> ?domains:int -> mode -> string list -> unit
 (** Print the named experiments (or all of them for [[]]) to stdout. *)
 
 val names : string list

@@ -1,0 +1,24 @@
+(** Minimal dependency-free JSON: values, a pretty-printer and a strict
+    parser.  Used by the bench harness to emit [BENCH_results.json] and by
+    the [@bench-smoke] alias to round-trip it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed JSON text with a trailing newline.  NaN/infinite floats
+    render as [null]. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document; rejects trailing garbage.  Escapes beyond the
+    ASCII range are preserved literally (enough to round-trip {!to_string}
+    output). *)
+
+val member : string -> t -> t option
+(** First field of that name when the value is an object. *)

@@ -1,6 +1,116 @@
-type t = { size : int; desc : string; dist : int -> int -> float }
+(* Point metrics carry a uniform-grid spatial index so that ball queries
+   cost O(|ball|) instead of O(n): points are bucketed into ~sqrt(n) x
+   sqrt(n) cells, and a query visits only the cells intersecting the query
+   disc.  Matrix/closure metrics have no geometry to index and keep the
+   brute-force scans; the [*_brute] variants stay exported as oracles for
+   the grid paths (test/test_scale.ml checks exact agreement, including
+   tie-breaks). *)
 
-let make ~size ~desc ~dist = { size; desc; dist }
+type spatial = {
+  pts : (float * float) array;
+  torus : float option;  (* [Some side]: coordinates wrap modulo [side] *)
+  nx : int;
+  ny : int;
+  cellw : float;
+  cellh : float;
+  minx : float;
+  miny : float;
+  cover : float;  (* radius at which a ball certainly spans every point *)
+  cells : int list array;  (* per-cell point indices, ascending; row-major *)
+}
+
+type t = {
+  size : int;
+  desc : string;
+  dist : int -> int -> float;
+  spatial : spatial option;
+}
+
+(* --- grid construction --- *)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let cell_of s x y =
+  let ix = clamp 0 (s.nx - 1) (int_of_float (floor ((x -. s.minx) /. s.cellw))) in
+  let iy = clamp 0 (s.ny - 1) (int_of_float (floor ((y -. s.miny) /. s.cellh))) in
+  (ix, iy)
+
+let build_spatial ?torus pts =
+  let n = Array.length pts in
+  if n = 0 then None
+  else begin
+    let minx, miny, maxx, maxy =
+      match torus with
+      | Some side -> (0., 0., side, side)
+      | None ->
+          Array.fold_left
+            (fun (x0, y0, x1, y1) (x, y) ->
+              (min x0 x, min y0 y, max x1 x, max y1 y))
+            (infinity, infinity, neg_infinity, neg_infinity)
+            pts
+    in
+    let per_axis = max 1 (int_of_float (sqrt (float_of_int n))) in
+    let extent lo hi = max (hi -. lo) 1e-9 in
+    let w = extent minx maxx and h = extent miny maxy in
+    let s =
+      {
+        pts;
+        torus;
+        nx = per_axis;
+        ny = per_axis;
+        cellw = w /. float_of_int per_axis;
+        cellh = h /. float_of_int per_axis;
+        minx;
+        miny;
+        (* torus distances never exceed side (even side/sqrt(2) would do);
+           planar distances never exceed the bounding-box semi-perimeter *)
+        cover = (match torus with Some side -> side | None -> w +. h);
+        cells = Array.make (per_axis * per_axis) [];
+      }
+    in
+    (* bucket in descending index order so each cell list ends ascending *)
+    for p = n - 1 downto 0 do
+      let x, y = pts.(p) in
+      let ix, iy = cell_of s x y in
+      let c = (iy * s.nx) + ix in
+      s.cells.(c) <- p :: s.cells.(c)
+    done;
+    Some s
+  end
+
+(* Cell indices along one axis covering the coordinate interval
+   [c - r, c + r]; wraps on the torus, clamps on the plane.  The count is
+   capped at the axis size so no cell is visited twice. *)
+let axis_range ~torus ~lo:axis_min ~cellsz ~ncells c r =
+  let i0f = floor ((c -. r -. axis_min) /. cellsz) in
+  let i1f = floor ((c +. r -. axis_min) /. cellsz) in
+  match torus with
+  | None ->
+      let i0 = clamp 0 (ncells - 1) (int_of_float i0f) in
+      let i1 = clamp 0 (ncells - 1) (int_of_float i1f) in
+      List.init (i1 - i0 + 1) (fun k -> i0 + k)
+  | Some _ ->
+      let i0 = int_of_float i0f in
+      let span = int_of_float i1f - i0 + 1 in
+      let count = min ncells (max 1 span) in
+      List.init count (fun k ->
+          let i = (i0 + k) mod ncells in
+          if i < 0 then i + ncells else i)
+
+(* Every point index whose cell intersects the axis-aligned square of
+   half-width [r] around point [p]: a superset of the ball of radius [r]
+   in both the planar and wrapped metrics. *)
+let candidates s p r =
+  let x, y = s.pts.(p) in
+  let xs = axis_range ~torus:s.torus ~lo:s.minx ~cellsz:s.cellw ~ncells:s.nx x r in
+  let ys = axis_range ~torus:s.torus ~lo:s.miny ~cellsz:s.cellh ~ncells:s.ny y r in
+  List.concat_map
+    (fun iy -> List.concat_map (fun ix -> s.cells.((iy * s.nx) + ix)) xs)
+    ys
+
+(* --- constructors --- *)
+
+let make ~size ~desc ~dist = { size; desc; dist; spatial = None }
 
 let of_points pts =
   let dist i j =
@@ -8,7 +118,12 @@ let of_points pts =
     let dx = xi -. xj and dy = yi -. yj in
     sqrt ((dx *. dx) +. (dy *. dy))
   in
-  { size = Array.length pts; desc = "euclidean-2d"; dist }
+  {
+    size = Array.length pts;
+    desc = "euclidean-2d";
+    dist;
+    spatial = build_spatial pts;
+  }
 
 let of_points_torus ~side pts =
   let wrap d =
@@ -20,11 +135,16 @@ let of_points_torus ~side pts =
     let dx = wrap (xi -. xj) and dy = wrap (yi -. yj) in
     sqrt ((dx *. dx) +. (dy *. dy))
   in
-  { size = Array.length pts; desc = "euclidean-torus"; dist }
+  {
+    size = Array.length pts;
+    desc = "euclidean-torus";
+    dist;
+    spatial = build_spatial ~torus:side pts;
+  }
 
 let of_matrix m =
   let dist i j = m.(i).(j) in
-  { size = Array.length m; desc = "matrix"; dist }
+  { size = Array.length m; desc = "matrix"; dist; spatial = None }
 
 let size m = m.size
 
@@ -32,19 +152,37 @@ let desc m = m.desc
 
 let dist m i j = m.dist i j
 
-let ball m p r =
+let indexed m = m.spatial <> None
+
+(* --- brute-force oracles (also the fallback for non-point metrics) --- *)
+
+let ball_brute m p r =
   let acc = ref [] in
   for q = m.size - 1 downto 0 do
     if m.dist p q <= r then acc := q :: !acc
   done;
   !acc
 
-let ball_count m p r =
+let ball_count_brute m p r =
   let c = ref 0 in
   for q = 0 to m.size - 1 do
     if m.dist p q <= r then incr c
   done;
   !c
+
+let nearest_other_brute m p =
+  let best = ref None in
+  let best_d = ref infinity in
+  for q = 0 to m.size - 1 do
+    if q <> p then begin
+      let d = m.dist p q in
+      if d < !best_d then begin
+        best := Some q;
+        best_d := d
+      end
+    end
+  done;
+  !best
 
 let k_closest m p ~k ~candidates =
   let arr = Array.of_list candidates in
@@ -56,15 +194,77 @@ let k_closest m p ~k ~candidates =
   let n = min k (Array.length keyed) in
   Array.to_list (Array.map snd (Array.sub keyed 0 n))
 
+let k_nearest_brute m p ~k =
+  k_closest m p ~k ~candidates:(List.init m.size (fun q -> q))
+
+(* --- grid-accelerated queries --- *)
+
+let ball m p r =
+  match m.spatial with
+  | None -> ball_brute m p r
+  | Some s ->
+      candidates s p r
+      |> List.filter (fun q -> m.dist p q <= r)
+      |> List.sort_uniq Int.compare
+
+let ball_count m p r =
+  match m.spatial with
+  | None -> ball_count_brute m p r
+  | Some s ->
+      List.fold_left
+        (fun acc q -> if m.dist p q <= r then acc + 1 else acc)
+        0
+        (List.sort_uniq Int.compare (candidates s p r))
+
+(* Radius-doubling around the grid cell size: once a ball is non-empty it
+   contains the true nearest point, so total work is O(|final ball|). *)
 let nearest_other m p =
-  let best = ref None in
-  for q = 0 to m.size - 1 do
-    if q <> p then
-      match !best with
-      | None -> best := Some q
-      | Some b -> if m.dist p q < m.dist p b then best := Some q
-  done;
-  !best
+  match m.spatial with
+  | None -> nearest_other_brute m p
+  | Some s ->
+      if m.size <= 1 then None
+      else begin
+        let pick within =
+          (* ascending index + strict < reproduces the brute tie-break *)
+          let best = ref None and best_d = ref infinity in
+          List.iter
+            (fun q ->
+              if q <> p then begin
+                let d = m.dist p q in
+                if d < !best_d then begin
+                  best := Some q;
+                  best_d := d
+                end
+              end)
+            within;
+          !best
+        in
+        let rec go r =
+          if r >= s.cover then pick (ball m p s.cover)
+          else
+            match pick (ball m p r) with
+            | Some q -> Some q
+            | None -> go (2. *. r)
+        in
+        go (0.5 *. min s.cellw s.cellh)
+      end
+
+let k_nearest m p ~k =
+  match m.spatial with
+  | None -> k_nearest_brute m p ~k
+  | Some s ->
+      if k <= 0 then []
+      else begin
+        let want = min k m.size in
+        let rec grow r =
+          let within = ball m p r in
+          if List.length within >= want || r >= s.cover then within
+          else grow (2. *. r)
+        in
+        (* a ball holding >= k points contains the k nearest, so sorting the
+           candidates matches the full-space oracle exactly *)
+        k_closest m p ~k ~candidates:(grow (min s.cellw s.cellh))
+      end
 
 let diameter m ~sample ~rng =
   if m.size <= 1 then 0.

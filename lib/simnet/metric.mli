@@ -4,20 +4,28 @@
     interface, mirroring the paper's model: a network topology induces a
     metric space satisfying the triangle inequality (Section 3).  The
     expansion property of Equation 1 ([|B(2r)| <= c |B(r)|]) holds or fails
-    depending on the generator; {!expansion_estimate} measures it. *)
+    depending on the generator; {!expansion_estimate} measures it.
+
+    Point-based constructors ({!of_points}, {!of_points_torus}) additionally
+    build a uniform-grid spatial index, making {!ball}, {!ball_count},
+    {!nearest_other} and {!k_nearest} cost O(|answer|) rather than O(size).
+    The [*_brute] variants are the always-available full scans, kept as
+    oracles; grid and brute paths agree exactly, including tie-breaks. *)
 
 type t
 
 val make : size:int -> desc:string -> dist:(int -> int -> float) -> t
 (** A metric over points [0 .. size-1]. [dist] must be symmetric, and zero
-    exactly on the diagonal. *)
+    exactly on the diagonal.  No spatial index (queries fall back to the
+    brute scans). *)
 
 val of_points : (float * float) array -> t
-(** Euclidean metric over points in the plane. *)
+(** Euclidean metric over points in the plane, with a grid index. *)
 
 val of_points_torus : side:float -> (float * float) array -> t
 (** Euclidean metric with wrap-around on a [side] x [side] torus (the
-    cleanest growth-restricted space: expansion constant 4 everywhere). *)
+    cleanest growth-restricted space: expansion constant 4 everywhere),
+    with a wrap-aware grid index. *)
 
 val of_matrix : float array array -> t
 (** Explicit distance matrix (used for graph-induced metrics). *)
@@ -28,17 +36,37 @@ val desc : t -> string
 
 val dist : t -> int -> int -> float
 
+val indexed : t -> bool
+(** Does this metric carry a spatial index (point-based constructors)? *)
+
 val ball : t -> int -> float -> int list
-(** [ball m p r] is every point within distance [r] of [p] (including [p]).
-    O(size); for verification and oracles, not protocol logic. *)
+(** [ball m p r] is every point within distance [r] of [p] (including [p]),
+    in ascending index order.  O(|ball|) on indexed metrics, O(size)
+    otherwise. *)
 
 val ball_count : t -> int -> float -> int
 
 val k_closest : t -> int -> k:int -> candidates:int list -> int list
-(** The [k] candidates closest to the given point, ascending by distance. *)
+(** The [k] candidates closest to the given point, ascending by distance
+    (ties by index).  O(|candidates| log |candidates|). *)
+
+val k_nearest : t -> int -> k:int -> int list
+(** The [k] points of the whole space closest to the given point (itself
+    included, at distance 0), ascending by distance with ties by index —
+    exactly [k_closest] over every point, but O(|answer|)-ish on indexed
+    metrics. *)
 
 val nearest_other : t -> int -> int option
-(** Closest point distinct from the argument (brute force oracle). *)
+(** Closest point distinct from the argument (lowest index on ties). *)
+
+val ball_brute : t -> int -> float -> int list
+(** Full-scan oracle for {!ball}; always O(size). *)
+
+val ball_count_brute : t -> int -> float -> int
+
+val k_nearest_brute : t -> int -> k:int -> int list
+
+val nearest_other_brute : t -> int -> int option
 
 val diameter : t -> sample:int -> rng:Rng.t -> float
 (** Estimated diameter from [sample] random pairs (exact scan if the space

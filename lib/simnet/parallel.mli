@@ -1,0 +1,26 @@
+(** Deterministic parallel map over stdlib domains.
+
+    The experiment driver uses this to run independent trials/sizes on
+    multiple cores without giving up replay: tasks are chunked contiguously,
+    results are joined in task-index order, and each task derives its own
+    random stream from its index via {!task_rng}.  Outputs are therefore
+    bit-identical whatever the domain count (and [domains = 1] degrades to a
+    plain sequential loop with no domain spawned).
+
+    Tasks must not share mutable state: each should build its own networks,
+    rngs and accumulators and return plain data. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible upper bound for
+    [domains] on this machine. *)
+
+val task_rng : seed:int -> task:int -> Rng.t
+(** An independent stream for one task, a pure function of [(seed, task)]. *)
+
+val map : ?domains:int -> int -> f:(int -> 'a) -> 'a array
+(** [map ~domains n ~f] is [[| f 0; ...; f (n-1) |]], with tasks spread over
+    at most [domains] domains (default 1).  [f] must be safe to run on a
+    non-main domain and independent across indices. *)
+
+val map_list : ?domains:int -> 'a list -> f:(int -> 'a -> 'b) -> 'b list
+(** List version of {!map}; [f] receives the element's index and value. *)

@@ -124,8 +124,9 @@ let run net =
       (* Property 1: every hole of a core node is a certified hole — no
          core node extends (prefix, digit).  Mirrors the insertion-time
          obligation of Definition 1 / Theorem 5. *)
-      let core_index = Id_index.create ~base:cfg.Config.base in
-      List.iter (fun (n : Node.t) -> Id_index.add core_index n.Node.id) core;
+      (* The network maintains the core trie incrementally; auditing reads
+         it rather than rebuilding, which also exercises its consistency. *)
+      let core_index = net.Network.core_index in
       List.iter
         (fun (n : Node.t) ->
           let prefix = Node_id.digits n.Node.id in

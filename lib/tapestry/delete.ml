@@ -76,7 +76,7 @@ let fail net node = Network.mark_dead net node
 let voluntary net (node : Node.t) =
   if node.Node.status <> Node.Active then
     invalid_arg "Delete.voluntary: node is not active";
-  node.Node.status <- Node.Leaving;
+  Network.begin_leaving net node;
   let cfg = net.Network.config in
   (* The data leaves with the node: withdraw its replicas first. *)
   let replicas = Node_id.Tbl.fold (fun g () acc -> g :: acc) node.Node.replicas [] in

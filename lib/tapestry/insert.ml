@@ -91,7 +91,7 @@ let stage_acquire net staged =
     Nearest_neighbor.acquire_neighbor_table ~adaptive net ~new_node ~surrogate
       ~initial_list:reached
   in
-  new_node.Node.status <- Node.Active;
+  Network.activate net new_node;
   let cost = Simnet.Cost.diff (Simnet.Cost.snapshot net.Network.cost) started in
   {
     node = new_node;

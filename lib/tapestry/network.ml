@@ -3,6 +3,10 @@ type t = {
   metric : Simnet.Metric.t;
   nodes : Node.t Node_id.Tbl.t;
   index : Id_index.t;
+  core_index : Id_index.t;
+  mutable alive_arr : Node.t array;
+  mutable alive_len : int;
+  alive_slot : int Node_id.Tbl.t;
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;
   mutable clock : float;
@@ -17,6 +21,10 @@ let create ?(seed = 42) config metric =
     metric;
     nodes = Node_id.Tbl.create 64;
     index = Id_index.create ~base:config.base;
+    core_index = Id_index.create ~base:config.base;
+    alive_arr = [||];
+    alive_len = 0;
+    alive_slot = Node_id.Tbl.create 64;
     rng = Simnet.Rng.create seed;
     cost = Simnet.Cost.make ();
     clock = 0.;
@@ -49,38 +57,94 @@ let find_exn t id =
   | Some n -> n
   | None -> invalid_arg ("Network.find_exn: unknown node " ^ Node_id.to_string id)
 
+(* --- alive set: dense array + swap-remove, so sampling is O(1) --- *)
+
+let push_alive t (node : Node.t) =
+  if t.alive_len = Array.length t.alive_arr then begin
+    let cap = max 8 (2 * Array.length t.alive_arr) in
+    let arr = Array.make cap node in
+    Array.blit t.alive_arr 0 arr 0 t.alive_len;
+    t.alive_arr <- arr
+  end;
+  t.alive_arr.(t.alive_len) <- node;
+  Node_id.Tbl.replace t.alive_slot node.id t.alive_len;
+  t.alive_len <- t.alive_len + 1
+
+let remove_alive t (node : Node.t) =
+  match Node_id.Tbl.find_opt t.alive_slot node.id with
+  | None -> ()
+  | Some i ->
+      let last = t.alive_len - 1 in
+      if i <> last then begin
+        let moved = t.alive_arr.(last) in
+        t.alive_arr.(i) <- moved;
+        Node_id.Tbl.replace t.alive_slot moved.id i
+      end;
+      Node_id.Tbl.remove t.alive_slot node.id;
+      t.alive_len <- last
+
 let register t (node : Node.t) =
   if Node_id.Tbl.mem t.nodes node.id then
     invalid_arg "Network.register: duplicate node id";
   if node.addr < 0 || node.addr >= Simnet.Metric.size t.metric then
     invalid_arg "Network.register: addr outside the metric space";
+  if not (Node.is_alive node) then
+    invalid_arg "Network.register: node is already dead";
   Node_id.Tbl.replace t.nodes node.id node;
-  Id_index.add t.index node.id
+  Id_index.add t.index node.id;
+  push_alive t node;
+  if Node.is_core node then Id_index.add t.core_index node.id
 
 let mark_dead t (node : Node.t) =
   if Node.is_alive node then begin
+    if Node.is_core node then Id_index.remove t.core_index node.id;
     node.status <- Dead;
-    Id_index.remove t.index node.id
+    Id_index.remove t.index node.id;
+    remove_alive t node
   end
 
-let fold_nodes t f init = Node_id.Tbl.fold (fun _ n acc -> f acc n) t.nodes init
+(* --- status transitions (the only writers of the core index) --- *)
 
-let alive_nodes t =
-  fold_nodes t (fun acc n -> if Node.is_alive n then n :: acc else acc) []
+let activate t (node : Node.t) =
+  match node.status with
+  | Node.Inserting ->
+      node.status <- Node.Active;
+      if Node_id.Tbl.mem t.nodes node.id then Id_index.add t.core_index node.id
+  | Node.Active -> ()
+  | Node.Leaving | Node.Dead ->
+      invalid_arg "Network.activate: node already left the mesh"
+
+let begin_leaving _t (node : Node.t) =
+  match node.status with
+  | Node.Active ->
+      (* Leaving nodes stay core (they serve in-flight traffic, Section
+         5.1), so the core index is untouched. *)
+      node.status <- Node.Leaving
+  | Node.Inserting | Node.Leaving | Node.Dead ->
+      invalid_arg "Network.begin_leaving: node is not active"
+
+let alive_nodes t = Array.to_list (Array.sub t.alive_arr 0 t.alive_len)
 
 let core_nodes t =
-  fold_nodes t (fun acc n -> if Node.is_core n then n :: acc else acc) []
+  Id_index.ids_with_prefix t.core_index ~prefix:[||] ~len:0
+  |> List.map (find_exn t)
 
-let node_count t = Id_index.size t.index
+let node_count t = t.alive_len
 
 let random_alive t =
-  match alive_nodes t with
-  | [] -> invalid_arg "Network.random_alive: no alive node"
-  | ns -> Simnet.Rng.pick_list t.rng ns
+  if t.alive_len = 0 then invalid_arg "Network.random_alive: no alive node"
+  else t.alive_arr.(Simnet.Rng.int t.rng t.alive_len)
 
 let fresh_id t =
   let rec go tries =
-    if tries > 1000 then failwith "Network.fresh_id: namespace exhausted";
+    if tries > 1000 then
+      failwith
+        (Printf.sprintf
+           "Network.fresh_id: no unused id after %d draws (namespace %d^%d = \
+            %.3g ids, %d registered)"
+           tries t.config.base t.config.id_digits
+           (float_of_int t.config.base ** float_of_int t.config.id_digits)
+           (Node_id.Tbl.length t.nodes));
     let id = Node_id.random ~base:t.config.base ~len:t.config.id_digits t.rng in
     if Node_id.Tbl.mem t.nodes id then go (tries + 1) else id
   in
@@ -119,7 +183,7 @@ let offer_link_all_levels t ~owner ~candidate =
   let shared = Node_id.common_prefix_len o.id c.id in
   let added = ref 0 in
   for level = 0 to min shared (t.config.id_digits - 1) do
-    if level <= shared && offer_link t ~owner ~level ~candidate then incr added
+    if offer_link t ~owner ~level ~candidate then incr added
   done;
   !added
 
@@ -137,9 +201,6 @@ let drop_link t ~owner ~target =
 
 let check_property1 t =
   let violations = ref [] in
-  let core = core_nodes t in
-  let core_index = Id_index.create ~base:t.config.base in
-  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) core;
   List.iter
     (fun (n : Node.t) ->
       let prefix = Node_id.digits n.id in
@@ -147,17 +208,14 @@ let check_property1 t =
         for digit = 0 to t.config.base - 1 do
           if
             Routing_table.is_hole n.table ~level ~digit
-            && Id_index.exists_extension core_index ~prefix ~len:level ~digit
+            && Id_index.exists_extension t.core_index ~prefix ~len:level ~digit
           then violations := (n, level, digit) :: !violations
         done
       done)
-    core;
+    (core_nodes t);
   !violations
 
 let check_property2 t ~total ~optimal =
-  let core = core_nodes t in
-  let core_index = Id_index.create ~base:t.config.base in
-  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) core;
   List.iter
     (fun (n : Node.t) ->
       let prefix = Node_id.digits n.id in
@@ -168,7 +226,7 @@ let check_property2 t ~total ~optimal =
             | None -> ()
             | Some prim ->
                 (* True closest (prefix, digit) node by brute force. *)
-                let cands = Id_index.ids_with_prefix core_index ~prefix ~len:level in
+                let cands = Id_index.ids_with_prefix t.core_index ~prefix ~len:level in
                 let cands =
                   List.filter
                     (fun id ->
@@ -199,25 +257,29 @@ let check_property2 t ~total ~optimal =
           end
         done
       done)
-    core;
+    (core_nodes t);
   ()
 
 let true_nearest_neighbor t (node : Node.t) =
-  List.fold_left
-    (fun acc (other : Node.t) ->
-      if Node_id.equal other.id node.id then acc
-      else
-        match acc with
-        | None -> Some other
-        | Some best -> if dist t node other < dist t node best then Some other else acc)
-    None (alive_nodes t)
+  let best = ref None in
+  let best_d = ref infinity in
+  for i = 0 to t.alive_len - 1 do
+    let other = t.alive_arr.(i) in
+    if not (Node_id.equal other.id node.id) then begin
+      let d = dist t node other in
+      if d < !best_d then begin
+        best := Some other;
+        best_d := d
+      end
+    end
+  done;
+  !best
 
 let surrogate_oracle t guid =
-  (* Digit-by-digit refinement with wrap-around among core nodes; by
-     Theorem 2 this is the unique root surrogate routing must reach. *)
-  let core_index = Id_index.create ~base:t.config.base in
-  List.iter (fun (n : Node.t) -> Id_index.add core_index n.id) (core_nodes t);
-  if Id_index.size core_index = 0 then
+  (* Digit-by-digit refinement with wrap-around among core nodes, answered
+     straight from the incrementally maintained core index; by Theorem 2
+     this is the unique root surrogate routing must reach. *)
+  if Id_index.size t.core_index = 0 then
     invalid_arg "Network.surrogate_oracle: empty network";
   let prefix = Array.make t.config.id_digits 0 in
   let rec refine level =
@@ -230,7 +292,8 @@ let surrogate_oracle t guid =
           invalid_arg "Network.surrogate_oracle: no extension (corrupt index)"
         else begin
           let j = (want + tries) mod t.config.base in
-          if Id_index.exists_extension core_index ~prefix ~len:level ~digit:j then j
+          if Id_index.exists_extension t.core_index ~prefix ~len:level ~digit:j
+          then j
           else scan (tries + 1)
         end
       in

@@ -4,15 +4,27 @@
     Protocol modules ({!Route}, {!Publish}, {!Insert}, ...) act on this
     container but make decisions only from per-node state (routing tables and
     pointer stores), charging every simulated message to the ambient
-    {!Simnet.Cost.t}.  Global views (the node directory, the trie index) are
-    reserved for verification oracles, experiment setup and the invariant
-    checkers at the bottom of this interface. *)
+    {!Simnet.Cost.t}.  Global views (the node directory, the trie indices,
+    the dense alive array) are reserved for verification oracles, experiment
+    setup and the invariant checkers at the bottom of this interface.
+
+    Hot-path bookkeeping is incremental: the alive set is a dense
+    swap-remove array (O(1) sampling, O(alive) listing) and the core trie
+    [core_index] is maintained on every status transition, so
+    {!surrogate_oracle} and the property checkers never rebuild it. *)
 
 type t = {
   config : Config.t;
   metric : Simnet.Metric.t;
   nodes : Node.t Node_id.Tbl.t;
   index : Id_index.t;  (** oracle: trie over ids of nodes that are not Dead *)
+  core_index : Id_index.t;
+      (** oracle: trie over core ([Active]/[Leaving]) ids, maintained
+          incrementally by {!register}, {!activate} and {!mark_dead} *)
+  mutable alive_arr : Node.t array;
+      (** dense array of alive nodes; entries beyond [alive_len] are junk *)
+  mutable alive_len : int;  (** number of live entries in [alive_arr] *)
+  alive_slot : int Node_id.Tbl.t;  (** node id -> its slot in [alive_arr] *)
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;  (** ambient accumulator charged by protocol code *)
   mutable clock : float;  (** virtual time for soft-state expiry *)
@@ -40,24 +52,41 @@ val find : t -> Node_id.t -> Node.t option
 val find_exn : t -> Node_id.t -> Node.t
 
 val register : t -> Node.t -> unit
-(** Add a node to the directory and oracle index (it is not yet linked into
-    anyone's routing table). *)
+(** Add a node to the directory, the oracle indices and the alive array (it
+    is not yet linked into anyone's routing table).  If the node is already
+    core ([Active]) it also enters [core_index].
+    @raise Invalid_argument on duplicate id, bad addr or a dead node. *)
 
 val mark_dead : t -> Node.t -> unit
-(** Flip status to [Dead] and drop from the oracle index.  Routing-table
-    cleanup is the protocols' business ({!Delete}). *)
+(** Flip status to [Dead] and drop from the oracle indices and the alive
+    array.  Routing-table cleanup is the protocols' business ({!Delete}). *)
+
+val activate : t -> Node.t -> unit
+(** [Inserting -> Active]: the node becomes core and (if registered) enters
+    [core_index].  No-op on an already-[Active] node.
+    @raise Invalid_argument on a [Leaving] or [Dead] node. *)
+
+val begin_leaving : t -> Node.t -> unit
+(** [Active -> Leaving]: announce voluntary departure.  Leaving nodes stay
+    core (they serve in-flight traffic, Section 5.1), so [core_index] is
+    untouched.  @raise Invalid_argument unless the node is [Active]. *)
 
 val alive_nodes : t -> Node.t list
+(** All alive nodes, O(alive); order is the dense-array order (insertion
+    order perturbed by swap-removes), not id order. *)
 
 val core_nodes : t -> Node.t list
+(** All core ([Active]/[Leaving]) nodes, in id (trie) order. *)
 
 val node_count : t -> int
+(** Number of alive nodes, O(1). *)
 
 val random_alive : t -> Node.t
-(** Uniform random alive node. @raise Invalid_argument if none. *)
+(** Uniform random alive node, O(1). @raise Invalid_argument if none. *)
 
 val fresh_id : t -> Node_id.t
-(** Random identifier not colliding with a registered node. *)
+(** Random identifier not colliding with a registered node.  Fails with a
+    diagnostic naming the namespace size after 1000 collisions. *)
 
 (** {2 Link maintenance}
 
@@ -92,4 +121,5 @@ val true_nearest_neighbor : t -> Node.t -> Node.t option
 val surrogate_oracle : t -> Node_id.t -> Node.t
 (** The root {!Route.route_to_root} must find, computed from global
     knowledge: successively refine by digit with wrap-around among core
-    nodes.  Mirrors Tapestry-native surrogate semantics. *)
+    nodes.  Answered from the incremental [core_index] — no rebuild.
+    Mirrors Tapestry-native surrogate semantics. *)

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-command repo health check: build, tests, lint.
+# One-command repo health check: build, tests, lint, bench smoke.
 # Run from the repo root: ./tools/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,4 +7,7 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 dune build @lint
-echo "check: build + tests + lint all clean"
+# Bench smoke: microbenches under a tiny quota + BENCH_results JSON
+# round-trip through the parser.
+dune build @bench-smoke
+echo "check: build + tests + lint + bench smoke all clean"
