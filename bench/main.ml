@@ -176,6 +176,117 @@ let micro_tests seed =
              (Network.core_nodes net);
            ignore (Network.surrogate_oracle net (next_guid ()))))
   in
+  (* The packed-slot walk vs the pre-arena hot path: list slots plus a
+     directory lookup per entry.  The oracle tables mirror [net]'s routing
+     tables exactly (consider in slot order reproduces the same slots, since
+     packed slots are sorted by distance), so both sides route through the
+     same mesh — only the representation differs. *)
+  let oracle_tables = Node_id.Tbl.create 256 in
+  List.iter
+    (fun (nd : Node.t) ->
+      let table = nd.Node.table in
+      let o = Routing_table.Oracle.create cfg ~owner:nd.Node.id in
+      for level = 0 to Routing_table.levels table - 1 do
+        for digit = 0 to cfg.Config.base - 1 do
+          for k = 0 to Routing_table.slot_len table ~level ~digit - 1 do
+            let id = Routing_table.slot_id table ~level ~digit ~k in
+            if not (Node_id.equal id nd.Node.id) then
+              ignore
+                (Routing_table.Oracle.consider o ~level ~candidate:id
+                   ~dist:(Routing_table.slot_dist table ~level ~digit ~k))
+          done
+        done
+      done;
+      Node_id.Tbl.replace oracle_tables nd.Node.id o)
+    (Network.alive_nodes net);
+  let oracle_first_alive o ~level ~digit =
+    let rec first = function
+      | [] -> None
+      | (e : Routing_table.Oracle.entry) :: rest -> (
+          match Network.find net e.Routing_table.Oracle.id with
+          | Some n when Node.is_alive n -> Some n
+          | _ -> first rest)
+    in
+    first (Routing_table.Oracle.slot o ~level ~digit)
+  in
+  let oracle_walk ~from ~stop guid =
+    let digits = cfg.Config.id_digits and base = cfg.Config.base in
+    let rec walk (node : Node.t) level =
+      if level >= digits || stop node then node
+      else begin
+        let o = Node_id.Tbl.find oracle_tables node.Node.id in
+        let want = Node_id.digit guid level in
+        let rec scan tries =
+          if tries = base then None
+          else
+            match oracle_first_alive o ~level ~digit:((want + tries) mod base) with
+            | Some n -> Some n
+            | None -> scan (tries + 1)
+        in
+        match scan 0 with
+        | None -> node
+        | Some next ->
+            if Node_id.equal next.Node.id node.Node.id then walk node (level + 1)
+            else begin
+              Network.charge net node next;
+              walk next (level + 1)
+            end
+      end
+    in
+    walk from 0
+  in
+  let route_oracle_test =
+    Test.make ~name:"route_to_root list-oracle (n=256)"
+      (Staged.stage (fun () ->
+           let from = Network.random_alive net in
+           ignore (oracle_walk ~from ~stop:(fun _ -> false) (next_guid ()))))
+  in
+  (* Pre-change locate: oracle walk, filter-then-fold over the full
+     [find_guid] record list at every hop, double pass at the stop node. *)
+  let usable_records (node : Node.t) guid =
+    Pointer_store.find_guid node.Node.pointers guid
+    |> List.filter (fun (r : Pointer_store.record) ->
+           r.Pointer_store.expires >= net.Network.clock
+           &&
+           match Network.find net r.Pointer_store.server with
+           | Some s -> Node.is_alive s && Node.stores_replica s guid
+           | None -> false)
+  in
+  let locate_oracle_test =
+    Test.make ~name:"locate list-oracle (n=256)"
+      (Staged.stage (fun () ->
+           let client = Network.random_alive net in
+           let guid = next_guid () in
+           let found =
+             oracle_walk ~from:client
+               ~stop:(fun node ->
+                 match usable_records node guid with
+                 | [] -> false
+                 | _ :: _ -> true)
+               guid
+           in
+           let records = usable_records found guid in
+           let server =
+             List.fold_left
+               (fun acc (r : Pointer_store.record) ->
+                 match Network.find net r.Pointer_store.server with
+                 | Some s -> (
+                     let d = Network.dist net found s in
+                     match acc with
+                     | Some (_, bd) when bd <= d -> acc
+                     | _ -> Some (s, d))
+                 | None -> acc)
+               None records
+             |> Option.map fst
+           in
+           match server with
+           | Some s when not (Node_id.equal s.Node.id found.Node.id) ->
+               ignore
+                 (oracle_walk ~from:found
+                    ~stop:(fun node -> Node_id.equal node.Node.id s.Node.id)
+                    s.Node.id)
+           | _ -> ()))
+  in
   (* insert+delete cycle on a side network so [net] stays stable *)
   let net2, _ =
     Insert.build_incremental ~seed:(seed + 7) Config.default metric
@@ -201,9 +312,9 @@ let micro_tests seed =
            ignore (Baselines.Chord.lookup ch ~from (!i * 7919 land 0xFFFFFF))))
   in
   [
-    route_test; locate_test; publish_test; multicast_test; random_alive_test;
-    random_alive_naive_test; surrogate_test; surrogate_rebuild_test;
-    insert_test; chord_test;
+    route_test; route_oracle_test; locate_test; locate_oracle_test;
+    publish_test; multicast_test; random_alive_test; random_alive_naive_test;
+    surrogate_test; surrogate_rebuild_test; insert_test; chord_test;
   ]
 
 let run_micro ~quota seed =

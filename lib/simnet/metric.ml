@@ -112,10 +112,14 @@ let candidates s p r =
 
 let make ~size ~desc ~dist = { size; desc; dist; spatial = None }
 
+(* Coordinates live in flat float arrays (unboxed) rather than the tuple
+   array: [dist] sits under every hop charge, and four boxed-float derefs
+   per call show up.  Same subtractions in the same order — bit-identical
+   results. *)
 let of_points pts =
+  let xs = Array.map fst pts and ys = Array.map snd pts in
   let dist i j =
-    let xi, yi = pts.(i) and xj, yj = pts.(j) in
-    let dx = xi -. xj and dy = yi -. yj in
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
     sqrt ((dx *. dx) +. (dy *. dy))
   in
   {
@@ -130,9 +134,9 @@ let of_points_torus ~side pts =
     let d = abs_float d in
     min d (side -. d)
   in
+  let xs = Array.map fst pts and ys = Array.map snd pts in
   let dist i j =
-    let xi, yi = pts.(i) and xj, yj = pts.(j) in
-    let dx = wrap (xi -. xj) and dy = wrap (yi -. yj) in
+    let dx = wrap (xs.(i) -. xs.(j)) and dy = wrap (ys.(i) -. ys.(j)) in
     sqrt ((dx *. dx) +. (dy *. dy))
   in
   {

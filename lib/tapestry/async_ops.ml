@@ -72,8 +72,7 @@ let usable env (node : Node.t) guid =
 
 let locate env ~client guid =
   sync_clock env;
-  let cfg = env.net.Network.config in
-  let salted = Node_id.salt ~base:cfg.Config.base guid 0 in
+  let salted = Network.salted env.net guid 0 in
   let found = ref None in
   let final, rev_path, _ =
     walk env ~from:client salted ~visit:(fun node ->
@@ -120,7 +119,7 @@ let publish env ~server guid =
   let cfg = env.net.Network.config in
   let expires () = env.net.Network.clock +. cfg.Config.pointer_ttl in
   for root_idx = 0 to cfg.Config.root_set_size - 1 do
-    let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+    let salted = Network.salted env.net guid root_idx in
     let prev = ref None in
     (* the visitor deposits at every node the walk arrives at (the source
        first) and never stops the walk *)

@@ -22,6 +22,12 @@ type violation =
       digit : int;
       entry : Node_id.t;
     }
+  | Stale_handle of {
+      node : Node_id.t;
+      level : int;
+      digit : int;
+      entry : Node_id.t;
+    }
   | Missing_backpointer of {
       holder : Node_id.t;
       level : int;
@@ -49,6 +55,7 @@ let violation_code = function
   | Misordered_slot _ -> "misordered-slot"
   | Misplaced_entry _ -> "misplaced-entry"
   | Dangling_entry _ -> "dangling-entry"
+  | Stale_handle _ -> "stale-handle"
   | Missing_backpointer _ -> "missing-backpointer"
   | Stale_backpointer _ -> "stale-backpointer"
   | Missing_owner _ -> "missing-owner"
@@ -77,6 +84,11 @@ let pp_violation ppf v =
   | Dangling_entry { node; level; digit; entry } ->
       Format.fprintf ppf
         "dangling-entry: %s slot (L%d, %x) holds %s which is dead or unknown"
+        (id node) (level + 1) digit (id entry)
+  | Stale_handle { node; level; digit; entry } ->
+      Format.fprintf ppf
+        "stale-handle: %s slot (L%d, %x) entry %s carries an arena handle \
+         that resolves to a different node"
         (id node) (level + 1) digit (id entry)
   | Missing_backpointer { holder; level; target } ->
       Format.fprintf ppf
@@ -159,44 +171,55 @@ let run net =
           let owner = n.Node.id in
           for level = 0 to Routing_table.levels table - 1 do
             for digit = 0 to Routing_table.base table - 1 do
-              let entries = Routing_table.slot table ~level ~digit in
-              let rec ordered = function
-                | (a : Routing_table.entry) :: (b :: _ as rest) ->
-                    a.Routing_table.dist <= b.Routing_table.dist
-                    && ordered rest
-                | [ _ ] | [] -> true
-              in
-              if not (ordered entries) then
+              let len = Routing_table.slot_len table ~level ~digit in
+              let ordered = ref true in
+              for k = 0 to len - 2 do
+                if
+                  Routing_table.slot_dist table ~level ~digit ~k
+                  > Routing_table.slot_dist table ~level ~digit ~k:(k + 1)
+                then ordered := false
+              done;
+              if not !ordered then
                 add (Misordered_slot { node = owner; level; digit });
-              List.iter
-                (fun (e : Routing_table.entry) ->
-                  let eid = e.Routing_table.id in
-                  if not (Node_id.equal eid owner) then begin
-                    incr entries_checked;
-                    if
-                      Node_id.common_prefix_len owner eid < level
-                      || Node_id.digit eid level <> digit
-                    then
-                      add
-                        (Misplaced_entry
-                           { node = owner; level; digit; entry = eid });
-                    match Network.find net eid with
-                    | Some target when Node.is_alive target ->
-                        if
-                          not
-                            (List.exists (Node_id.equal owner)
-                               (Routing_table.backpointers target.Node.table
-                                  ~level))
-                        then
-                          add
-                            (Missing_backpointer
-                               { holder = owner; level; target = eid })
-                    | Some _ | None ->
+              for k = 0 to len - 1 do
+                let eid = Routing_table.slot_id table ~level ~digit ~k in
+                if not (Node_id.equal eid owner) then begin
+                  incr entries_checked;
+                  if
+                    Node_id.common_prefix_len owner eid < level
+                    || Node_id.digit eid level <> digit
+                  then
+                    add
+                      (Misplaced_entry
+                         { node = owner; level; digit; entry = eid });
+                  (* an entry's arena handle is immutable: resolving it must
+                     yield the very node the entry names *)
+                  let h = Routing_table.slot_handle table ~level ~digit ~k in
+                  if
+                    h >= 0
+                    && not
+                         (h < net.Network.arena_len
+                         && Node_id.equal
+                              (Network.node_of_handle net h).Node.id eid)
+                  then
+                    add (Stale_handle { node = owner; level; digit; entry = eid });
+                  match Network.find net eid with
+                  | Some target when Node.is_alive target ->
+                      if
+                        not
+                          (List.exists (Node_id.equal owner)
+                             (Routing_table.backpointers target.Node.table
+                                ~level))
+                      then
                         add
-                          (Dangling_entry
-                             { node = owner; level; digit; entry = eid })
-                  end)
-                entries
+                          (Missing_backpointer
+                             { holder = owner; level; target = eid })
+                  | Some _ | None ->
+                      add
+                        (Dangling_entry
+                           { node = owner; level; digit; entry = eid })
+                end
+              done
             done;
             (* the owner fills its own digit slot at every level (create's
                invariant; routing and multicast rely on it) *)

@@ -12,6 +12,9 @@
       has a level-l backpointer to A, in both directions;
     - {b owner presence}: every node fills its own digit slot at every
       level (routing and multicast rely on it);
+    - {b handle consistency}: every entry carrying an arena handle resolves
+      through {!Network.node_of_handle} to the node it names (the packed
+      hot path depends on it);
     - {b pointer expiry consistency} (Section 2.2 soft state): no node
       retains an object pointer past its expiry.
 
@@ -38,6 +41,13 @@ type violation =
       level : int;
       digit : int;
       entry : Node_id.t;  (** entry pointing at a dead or unknown node *)
+    }
+  | Stale_handle of {
+      node : Node_id.t;
+      level : int;
+      digit : int;
+      entry : Node_id.t;
+          (** entry whose cached arena handle resolves to a different node *)
     }
   | Missing_backpointer of {
       holder : Node_id.t;

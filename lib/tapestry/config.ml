@@ -7,7 +7,12 @@ type t = {
   root_set_size : int;
   pointer_ttl : float;
   republish_interval : float;
+  digit_bits : int;
 }
+
+let bits_of_base base =
+  let rec count v acc = if v <= 1 then acc else count (v lsr 1) (acc + 1) in
+  count base 0
 
 let default =
   {
@@ -19,7 +24,10 @@ let default =
     root_set_size = 1;
     pointer_ttl = 300.;
     republish_interval = 100.;
+    digit_bits = 4;
   }
+
+let normalize t = { t with digit_bits = bits_of_base t.base }
 
 let is_power_of_two x = x > 0 && x land (x - 1) = 0
 

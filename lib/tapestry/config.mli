@@ -16,10 +16,21 @@ type t = {
   root_set_size : int;  (** |R_psi|: surrogate roots per object *)
   pointer_ttl : float;  (** soft-state lifetime of an object pointer *)
   republish_interval : float;  (** how often servers republish *)
+  digit_bits : int;
+      (** log2 [base], precomputed so the PRR-like first-hole rule never
+          recounts it per hop.  Derived: {!Network.create} re-derives it via
+          {!normalize}, so [{ default with base }] updates need not (and
+          should not) set it by hand. *)
 }
 
 val default : t
 (** b = 16, 8-digit IDs, R = 3, k = 16, one root, TTL 300, republish 100. *)
+
+val bits_of_base : int -> int
+(** Bit width of one digit: log2 of a power-of-two base. *)
+
+val normalize : t -> t
+(** Recompute the derived [digit_bits] field from [base]. *)
 
 val validate : t -> (unit, string) result
 

@@ -96,7 +96,7 @@ let voluntary net (node : Node.t) =
             Pointer_store.records holder.Node.pointers
             |> List.filter (fun (r : Pointer_store.record) ->
                    let salted =
-                     Node_id.salt ~base:cfg.Config.base r.Pointer_store.guid
+                     Network.salted net r.Pointer_store.guid
                        r.Pointer_store.root_idx
                    in
                    match Route.peek_first_hop net holder salted with
@@ -129,7 +129,7 @@ let voluntary net (node : Node.t) =
   Pointer_store.records node.Node.pointers
   |> List.iter (fun (r : Pointer_store.record) ->
          let salted =
-           Node_id.salt ~base:cfg.Config.base r.Pointer_store.guid
+           Network.salted net r.Pointer_store.guid
              r.Pointer_store.root_idx
          in
          let is_root = Route.peek_first_hop net node salted = None in

@@ -6,35 +6,44 @@ type result = {
 }
 
 (* A pointer is usable if unexpired and its server still serves the object. *)
-let usable_records net (node : Node.t) guid =
-  Pointer_store.find_guid node.Node.pointers guid
-  |> List.filter (fun (r : Pointer_store.record) ->
-         r.expires >= net.Network.clock
-         &&
-         match Network.find net r.server with
-         | Some s -> Node.is_alive s && Node.stores_replica s guid
-         | None -> false)
+let usable net guid (r : Pointer_store.record) =
+  r.expires >= net.Network.clock
+  &&
+  match Network.find net r.server with
+  | Some s -> Node.is_alive s && Node.stores_replica s guid
+  | None -> false
 
-let closest_server net (node : Node.t) records =
+
+(* One pass over the stop node's records: filter for usability and keep the
+   closest server, first-seen winning distance ties (the same order the
+   filter-then-fold pair produced). *)
+let closest_usable_server net (node : Node.t) guid =
   List.fold_left
     (fun acc (r : Pointer_store.record) ->
-      match Network.find net r.server with
-      | None -> acc
-      | Some s -> (
-          let d = Network.dist net node s in
-          match acc with
-          | Some (_, bd) when bd <= d -> acc
-          | _ -> Some (s, d)))
-    None records
+      if r.expires < net.Network.clock then acc
+      else
+        match Network.find net r.server with
+        | Some s when Node.is_alive s && Node.stores_replica s guid -> (
+            let d = Network.dist net node s in
+            match acc with
+            | Some (_, bd) when bd <= d -> acc
+            | _ -> Some (s, d))
+        | _ -> acc)
+    None
+    (Pointer_store.find_guid node.Node.pointers guid)
   |> Option.map fst
 
+(* The walk only needs to know whether a usable pointer exists at each hop;
+   records are examined once, at the stop node.  The usability predicate is
+   built once per walk, not per hop. *)
 let walk_toward_root ?variant ?exclude net ~from salted guid =
+  let pred = usable net guid in
   Route.fold_path ?variant ?exclude net ~from salted ~init:[]
     ~f:(fun path node ->
       let path = node :: path in
-      match usable_records net node guid with
-      | _ :: _ -> `Stop path
-      | [] -> `Continue path)
+      if Pointer_store.exists_guid_match node.Node.pointers guid ~f:pred then
+        `Stop path
+      else `Continue path)
 
 let rec locate ?variant ?root_idx net ~client guid =
   let cfg = net.Network.config in
@@ -64,22 +73,28 @@ let rec locate ?variant ?root_idx net ~client guid =
     in
     go retries
   in
-  let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+  let salted = Network.salted net guid root_idx in
   let finish (found : Node.t) rev_path redirects =
-    let records = usable_records net found guid in
-    match closest_server net found records with
+    match closest_usable_server net found guid with
     | None -> (
         match retry () with
         | Some r -> r
         | None ->
             { server = None; pointer_node = None; walk = List.rev rev_path; redirects })
     | Some server ->
-        (* Route through the mesh to the chosen replica's server. *)
-        let server, _path =
-          if Node_id.equal server.Node.id found.Node.id then (Some server, [])
+        (* Route through the mesh to the chosen replica's server.  The walk
+           (and so every hop charge) matches [Route.route_to_node]; only the
+           path list, which nobody reads, is not built. *)
+        let server =
+          if Node_id.equal server.Node.id found.Node.id then Some server
           else begin
-            let reached, path = Route.route_to_node net ~from:found server.Node.id in
-            (reached, path)
+            let target = server.Node.id in
+            let reached, (), _ =
+              Route.fold_path net ~from:found target ~init:() ~f:(fun () node ->
+                  if Node_id.equal node.Node.id target then `Stop ()
+                  else `Continue ())
+            in
+            if Node_id.equal reached.Node.id target then Some reached else None
           end
         in
         {

@@ -1,5 +1,5 @@
 let salted_of net (r : Pointer_store.record) =
-  Node_id.salt ~base:net.Network.config.Config.base r.guid r.root_idx
+  Network.salted net r.guid r.root_idx
 
 let rec delete_backward_from net ~changed ~guid ~server ~root_idx (node : Node.t) =
   match Pointer_store.find node.Node.pointers ~guid ~server ~root_idx with

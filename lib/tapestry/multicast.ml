@@ -72,14 +72,19 @@ let run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
        sent to one settled ("unpinned") entry AND every inserting ("pinned")
        entry — otherwise a tree rooted through a half-joined node misses its
        siblings. *)
-    let live =
-      List.filter_map
-        (fun (e : Routing_table.entry) ->
-          match Network.find net e.id with
-          | Some n when Node.is_alive n -> Some n
-          | _ -> None)
-        (Routing_table.slot node.Node.table ~level ~digit)
-    in
+    let table = node.Node.table in
+    let live = ref [] in
+    for k = Routing_table.slot_len table ~level ~digit - 1 downto 0 do
+      let h = Routing_table.slot_handle table ~level ~digit ~k in
+      let n =
+        if h >= 0 then Some (Network.node_of_handle net h)
+        else Network.find net (Routing_table.slot_id table ~level ~digit ~k)
+      in
+      match n with
+      | Some n when Node.is_alive n -> live := n :: !live
+      | _ -> ()
+    done;
+    let live = !live in
     let pinned = List.filter (fun (n : Node.t) -> not (Node.is_core n)) live in
     match List.find_opt Node.is_core live with
     | Some settled -> settled :: pinned

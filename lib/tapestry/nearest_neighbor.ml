@@ -154,17 +154,25 @@ let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
 let nearest_neighbor net ~(from : Node.t) =
   (* Property 2's static solution: the closest entry among the level-0
      neighbor sets. *)
+  let table = from.Node.table in
   let best = ref None in
-  for digit = 0 to Routing_table.base from.Node.table - 1 do
-    Routing_table.slot from.Node.table ~level:0 ~digit
-    |> List.iter (fun (e : Routing_table.entry) ->
-           if not (Node_id.equal e.id from.Node.id) then
-             match Network.find net e.id with
-             | Some n when Node.is_alive n -> (
-                 let d = Network.dist net from n in
-                 match !best with
-                 | Some (_, bd) when bd <= d -> ()
-                 | _ -> best := Some (n, d))
-             | _ -> ())
+  for digit = 0 to Routing_table.base table - 1 do
+    for k = 0 to Routing_table.slot_len table ~level:0 ~digit - 1 do
+      let id = Routing_table.slot_id table ~level:0 ~digit ~k in
+      if not (Node_id.equal id from.Node.id) then begin
+        let h = Routing_table.slot_handle table ~level:0 ~digit ~k in
+        let n =
+          if h >= 0 then Some (Network.node_of_handle net h)
+          else Network.find net id
+        in
+        match n with
+        | Some n when Node.is_alive n -> (
+            let d = Network.dist net from n in
+            match !best with
+            | Some (_, bd) when bd <= d -> ()
+            | _ -> best := Some (n, d))
+        | _ -> ()
+      end
+    done
   done;
   Option.map fst !best

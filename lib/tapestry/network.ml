@@ -1,12 +1,26 @@
+(* Salted-GUID cache keys: (identifier, root-set index). *)
+module Salt_key = struct
+  type t = Node_id.t * int
+
+  let equal (a, i) (b, j) = Int.equal i j && Node_id.equal a b
+
+  let hash (id, i) = (Node_id.hash id * 31) + i
+end
+
+module Salt_tbl = Hashtbl.Make (Salt_key)
+
 type t = {
   config : Config.t;
   metric : Simnet.Metric.t;
   nodes : Node.t Node_id.Tbl.t;
   index : Id_index.t;
   core_index : Id_index.t;
+  mutable arena : Node.t array;
+  mutable arena_len : int;
   mutable alive_arr : Node.t array;
   mutable alive_len : int;
   alive_slot : int Node_id.Tbl.t;
+  salts : Node_id.t Salt_tbl.t;
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;
   mutable clock : float;
@@ -17,14 +31,17 @@ let create ?(seed = 42) config metric =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Network.create: " ^ msg));
   {
-    config;
+    config = Config.normalize config;
     metric;
     nodes = Node_id.Tbl.create 64;
     index = Id_index.create ~base:config.base;
     core_index = Id_index.create ~base:config.base;
+    arena = [||];
+    arena_len = 0;
     alive_arr = [||];
     alive_len = 0;
     alive_slot = Node_id.Tbl.create 64;
+    salts = Salt_tbl.create 64;
     rng = Simnet.Rng.create seed;
     cost = Simnet.Cost.make ();
     clock = 0.;
@@ -52,10 +69,38 @@ let without_charging t f =
 
 let find t id = Node_id.Tbl.find_opt t.nodes id
 
+let node_of_handle t h = t.arena.(h)
+
+let salted t id i =
+  if i = 0 then id
+  else begin
+    let key = (id, i) in
+    match Salt_tbl.find_opt t.salts key with
+    | Some s -> s
+    | None ->
+        let s = Node_id.salt ~base:t.config.Config.base id i in
+        Salt_tbl.replace t.salts key s;
+        s
+  end
+
 let find_exn t id =
   match find t id with
   | Some n -> n
   | None -> invalid_arg ("Network.find_exn: unknown node " ^ Node_id.to_string id)
+
+(* --- node arena: append-only, one immutable int handle per node --- *)
+
+let push_arena t (node : Node.t) =
+  if t.arena_len = Array.length t.arena then begin
+    let cap = max 8 (2 * Array.length t.arena) in
+    let arr = Array.make cap node in
+    Array.blit t.arena 0 arr 0 t.arena_len;
+    t.arena <- arr
+  end;
+  t.arena.(t.arena_len) <- node;
+  node.handle <- t.arena_len;
+  Routing_table.set_owner_handle node.table t.arena_len;
+  t.arena_len <- t.arena_len + 1
 
 (* --- alive set: dense array + swap-remove, so sampling is O(1) --- *)
 
@@ -92,6 +137,7 @@ let register t (node : Node.t) =
     invalid_arg "Network.register: node is already dead";
   Node_id.Tbl.replace t.nodes node.id node;
   Id_index.add t.index node.id;
+  push_arena t node;
   push_alive t node;
   if Node.is_core node then Id_index.add t.core_index node.id
 
@@ -164,7 +210,10 @@ let offer_link t ~owner ~level ~candidate =
   then false
   else begin
     let d = dist t o c in
-    match Routing_table.consider o.table ~level ~candidate:c.id ~dist:d with
+    match
+      Routing_table.consider ~handle:c.handle o.table ~level ~candidate:c.id
+        ~dist:d
+    with
     | `Rejected | `Known -> false
     | `Added evicted ->
         Routing_table.add_backpointer c.table ~level o.id;

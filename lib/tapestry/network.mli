@@ -13,18 +13,33 @@
     [core_index] is maintained on every status transition, so
     {!surrogate_oracle} and the property checkers never rebuild it. *)
 
+(** @closed *)
+module Salt_tbl : Hashtbl.S with type key = Node_id.t * int
+
 type t = {
   config : Config.t;
+      (** normalized ({!Config.normalize}) copy of the config passed to
+          {!create}: derived fields are always consistent *)
   metric : Simnet.Metric.t;
   nodes : Node.t Node_id.Tbl.t;
   index : Id_index.t;  (** oracle: trie over ids of nodes that are not Dead *)
   core_index : Id_index.t;
       (** oracle: trie over core ([Active]/[Leaving]) ids, maintained
           incrementally by {!register}, {!activate} and {!mark_dead} *)
+  mutable arena : Node.t array;
+      (** append-only node arena: [arena.(h)] is the node whose immutable
+          handle is [h] (assigned at {!register}, kept through death).
+          The routing hot path resolves table entries through it in O(1)
+          with no hashing. *)
+  mutable arena_len : int;  (** number of live entries in [arena] *)
   mutable alive_arr : Node.t array;
       (** dense array of alive nodes; entries beyond [alive_len] are junk *)
   mutable alive_len : int;  (** number of live entries in [alive_arr] *)
   alive_slot : int Node_id.Tbl.t;  (** node id -> its slot in [alive_arr] *)
+  salts : Node_id.t Salt_tbl.t;
+      (** memo for {!salted}: [Node_id.salt] allocates a fresh RNG and
+          digit array per call, so the redundant-roots publish/locate path
+          caches psi_i per [(id, i)] *)
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;  (** ambient accumulator charged by protocol code *)
   mutable clock : float;  (** virtual time for soft-state expiry *)
@@ -50,6 +65,15 @@ val without_charging : t -> (unit -> 'a) -> 'a
 val find : t -> Node_id.t -> Node.t option
 
 val find_exn : t -> Node_id.t -> Node.t
+
+val node_of_handle : t -> int -> Node.t
+(** The node registered with arena handle [h], O(1) and allocation-free;
+    dead nodes keep their handle (check {!Node.is_alive}).
+    @raise Invalid_argument on an out-of-range handle. *)
+
+val salted : t -> Node_id.t -> int -> Node_id.t
+(** [salted t id i] is [Node_id.salt ~base id i], memoized per network.
+    [i = 0] is the identity and bypasses the cache. *)
 
 val register : t -> Node.t -> unit
 (** Add a node to the directory, the oracle indices and the alive array (it

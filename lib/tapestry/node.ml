@@ -3,6 +3,7 @@ type status = Inserting | Active | Leaving | Dead
 type t = {
   id : Node_id.t;
   addr : int;
+  mutable handle : int;
   table : Routing_table.t;
   pointers : Pointer_store.t;
   replicas : unit Node_id.Tbl.t;
@@ -10,10 +11,13 @@ type t = {
   mutable surrogate_hint : Node_id.t option;
 }
 
+let no_handle = -1
+
 let create cfg ~id ~addr =
   {
     id;
     addr;
+    handle = no_handle;
     table = Routing_table.create cfg ~owner:id;
     pointers = Pointer_store.create ();
     replicas = Node_id.Tbl.create 4;

@@ -10,6 +10,11 @@ type status =
 type t = {
   id : Node_id.t;
   addr : int;  (** index of this node's point in the metric space *)
+  mutable handle : int;
+      (** index into the owning {!Network.t}'s node arena, assigned once at
+          registration and immutable afterwards ([no_handle] before).
+          Routing resolves neighbor entries through it in O(1) with no
+          hashing. *)
   table : Routing_table.t;
   pointers : Pointer_store.t;
   replicas : unit Node_id.Tbl.t;  (** GUIDs whose data this node stores *)
@@ -18,6 +23,9 @@ type t = {
       (** while inserting: the pre-insertion surrogate used to keep objects
           available (Figure 10) *)
 }
+
+val no_handle : int
+(** Sentinel handle ([-1]) of a node not (yet) registered in a network. *)
 
 val create : Config.t -> id:Node_id.t -> addr:int -> t
 

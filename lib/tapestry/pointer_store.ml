@@ -17,9 +17,33 @@ end
 
 module Tbl = Hashtbl.Make (Key)
 
-type t = { recs : record Tbl.t }
+(* [by_guid] is a secondary index for the O(1) existence probe on the
+   locate hot path.  Its per-guid list order is arbitrary and must never
+   leak into record materialization: [find_guid] keeps answering from the
+   primary table so distance tie-breaking downstream is unchanged. *)
+type t = { recs : record Tbl.t; by_guid : record list Node_id.Tbl.t }
 
-let create () = { recs = Tbl.create 16 }
+let create () = { recs = Tbl.create 16; by_guid = Node_id.Tbl.create 16 }
+
+let index_add t (r : record) =
+  let cur =
+    match Node_id.Tbl.find_opt t.by_guid r.guid with Some l -> l | None -> []
+  in
+  Node_id.Tbl.replace t.by_guid r.guid (r :: cur)
+
+let index_remove t ~guid ~server ~root_idx =
+  match Node_id.Tbl.find_opt t.by_guid guid with
+  | None -> ()
+  | Some l -> (
+      let l =
+        List.filter
+          (fun (r : record) ->
+            not (r.root_idx = root_idx && Node_id.equal r.server server))
+          l
+      in
+      match l with
+      | [] -> Node_id.Tbl.remove t.by_guid guid
+      | _ :: _ -> Node_id.Tbl.replace t.by_guid guid l)
 
 let store t ~guid ~server ~root_idx ~previous ~expires =
   match Tbl.find_opt t.recs (guid, server, root_idx) with
@@ -29,8 +53,9 @@ let store t ~guid ~server ~root_idx ~previous ~expires =
       r.expires <- max r.expires expires;
       `Refreshed old
   | None ->
-      Tbl.replace t.recs (guid, server, root_idx)
-        { guid; server; root_idx; previous; expires };
+      let r = { guid; server; root_idx; previous; expires } in
+      Tbl.replace t.recs (guid, server, root_idx) r;
+      index_add t r;
       `New
 
 let find t ~guid ~server ~root_idx = Tbl.find_opt t.recs (guid, server, root_idx)
@@ -46,9 +71,17 @@ let mem_guid t guid =
     false
   with Exit -> true
 
+let exists_guid_match t guid ~f =
+  Tbl.length t.recs > 0
+  &&
+  match Node_id.Tbl.find_opt t.by_guid guid with
+  | None -> false
+  | Some l -> List.exists f l
+
 let remove t ~guid ~server ~root_idx =
   if Tbl.mem t.recs (guid, server, root_idx) then begin
     Tbl.remove t.recs (guid, server, root_idx);
+    index_remove t ~guid ~server ~root_idx;
     true
   end
   else false
@@ -59,7 +92,11 @@ let remove_guid t guid =
       (fun (g, s, r) _ acc -> if Node_id.equal g guid then (g, s, r) :: acc else acc)
       t.recs []
   in
-  List.iter (Tbl.remove t.recs) victims;
+  List.iter
+    (fun (g, s, r) ->
+      Tbl.remove t.recs (g, s, r);
+      index_remove t ~guid:g ~server:s ~root_idx:r)
+    victims;
   List.length victims
 
 let guids t =
@@ -77,5 +114,9 @@ let expire t ~now =
       (fun key r acc -> if r.expires < now then key :: acc else acc)
       t.recs []
   in
-  List.iter (Tbl.remove t.recs) victims;
+  List.iter
+    (fun ((g, s, r) as key) ->
+      Tbl.remove t.recs key;
+      index_remove t ~guid:g ~server:s ~root_idx:r)
+    victims;
   List.length victims

@@ -31,6 +31,11 @@ val find_guid : t -> Node_id.t -> record list
 
 val mem_guid : t -> Node_id.t -> bool
 
+val exists_guid_match : t -> Node_id.t -> f:(record -> bool) -> bool
+(** Is there a record for this GUID satisfying [f]?  Allocation-free with
+    early exit (and O(1) on an empty store) — the locate walk's per-hop
+    pointer probe, where {!find_guid}'s list build would dominate. *)
+
 val remove : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int -> bool
 
 val remove_guid : t -> Node_id.t -> int

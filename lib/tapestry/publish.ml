@@ -9,7 +9,7 @@ let deposit net (node : Node.t) ~guid ~server_id ~root_idx ~previous =
 let walk_one_root ?variant ?(on_secondaries = false) net ~(server : Node.t) guid
     ~root_idx =
   let cfg = net.Network.config in
-  let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+  let salted = Network.salted net guid root_idx in
   (* Fold along the root path, depositing a pointer at every node. *)
   let root, (_, hops), _ =
     Route.fold_path ?variant net ~from:server salted ~init:(None, 0)
@@ -21,16 +21,22 @@ let walk_one_root ?variant ?(on_secondaries = false) net ~(server : Node.t) guid
              this node knows at the level just resolved. *)
           let level = min (hops) (cfg.Config.id_digits - 1) in
           let digit = Node_id.digit salted level in
-          Routing_table.slot node.Node.table ~level ~digit
-          |> List.iter (fun (e : Routing_table.entry) ->
-                 match Network.find net e.id with
-                 | Some sec
-                   when Node.is_alive sec
-                        && not (Node_id.equal sec.Node.id node.Node.id) ->
-                     Network.charge_aside net node sec;
-                     deposit net sec ~guid ~server_id:server.Node.id ~root_idx
-                       ~previous:(Some node.Node.id)
-                 | _ -> ())
+          let table = node.Node.table in
+          for k = 0 to Routing_table.slot_len table ~level ~digit - 1 do
+            let h = Routing_table.slot_handle table ~level ~digit ~k in
+            let sec =
+              if h >= 0 then Some (Network.node_of_handle net h)
+              else Network.find net (Routing_table.slot_id table ~level ~digit ~k)
+            in
+            match sec with
+            | Some sec
+              when Node.is_alive sec
+                   && not (Node_id.equal sec.Node.id node.Node.id) ->
+                Network.charge_aside net node sec;
+                deposit net sec ~guid ~server_id:server.Node.id ~root_idx
+                  ~previous:(Some node.Node.id)
+            | _ -> ()
+          done
         end;
         `Continue (Some node.Node.id, hops + 1))
   in
@@ -57,7 +63,7 @@ let unpublish ?variant net ~(server : Node.t) guid =
   let cfg = net.Network.config in
   Node.remove_replica server guid;
   for root_idx = 0 to cfg.Config.root_set_size - 1 do
-    let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+    let salted = Network.salted net guid root_idx in
     let _, _, _ =
       Route.fold_path ?variant net ~from:server salted ~init:()
         ~f:(fun () node ->

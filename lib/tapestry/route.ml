@@ -5,31 +5,47 @@ type info = { root : Node.t; path : Node.t list; surrogate_hops : int }
 let default_on_dead net ~owner ~dead = Network.drop_link net ~owner ~target:dead
 
 (* Pick the first alive entry of a slot, lazily purging dead ones (each purge
-   costs a probe message: the paper's timeout-based failure detection). *)
+   costs a probe message: the paper's timeout-based failure detection).
+   Entries resolve through the network's handle arena — one array read, no
+   hashing, no slot-list allocation; only entries injected without a handle
+   (test fault injection) fall back to the directory.  The scan restarts
+   after a purge because [on_dead] may rewrite the slot arbitrarily. *)
 let rec first_alive net on_dead skip (owner : Node.t) ~level ~digit =
-  match
-    List.find_opt
-      (fun (e : Routing_table.entry) -> not (skip e.id))
-      (Routing_table.slot owner.Node.table ~level ~digit)
-  with
-  | None -> None
-  | Some e -> (
-      match Network.find net e.Routing_table.id with
-      | Some n when Node.is_alive n -> Some n
-      | _ ->
-          Simnet.Cost.message net.Network.cost ~dist:0.;
-          on_dead net ~owner ~dead:e.Routing_table.id;
-          (* ensure progress even if on_dead did not remove the entry *)
-          ignore (Routing_table.remove owner.Node.table e.Routing_table.id);
-          first_alive net on_dead skip owner ~level ~digit)
+  scan net on_dead skip owner ~level ~digit
+    ~len:(Routing_table.slot_len owner.Node.table ~level ~digit)
+    ~k:0
+
+and scan net on_dead skip (owner : Node.t) ~level ~digit ~len ~k =
+  if k >= len then None
+  else begin
+    let table = owner.Node.table in
+    let id = Routing_table.slot_id table ~level ~digit ~k in
+    if skip id then scan net on_dead skip owner ~level ~digit ~len ~k:(k + 1)
+    else begin
+      let h = Routing_table.slot_handle table ~level ~digit ~k in
+      if h >= 0 then begin
+        let n = Network.node_of_handle net h in
+        if Node.is_alive n then Some n
+        else purge net on_dead skip owner ~level ~digit ~dead:id
+      end
+      else
+        match Network.find net id with
+        | Some n when Node.is_alive n -> Some n
+        | _ -> purge net on_dead skip owner ~level ~digit ~dead:id
+    end
+  end
+
+and purge net on_dead skip (owner : Node.t) ~level ~digit ~dead =
+  Simnet.Cost.message net.Network.cost ~dist:0.;
+  on_dead net ~owner ~dead;
+  (* ensure progress even if on_dead did not remove the entry *)
+  ignore (Routing_table.remove owner.Node.table dead);
+  first_alive net on_dead skip owner ~level ~digit
 
 (* Most-significant-bit agreement between two digits, used by the PRR-like
-   variant's first-hole rule. *)
-let msb_agreement ~base a b =
-  let bits =
-    let rec count v acc = if v <= 1 then acc else count (v lsr 1) (acc + 1) in
-    count base 0
-  in
+   variant's first-hole rule.  [bits] is the digit width, precomputed in
+   [Config.digit_bits]. *)
+let msb_agreement ~bits a b =
   let rec go i acc =
     if i < 0 then acc
     else if (a lsr i) land 1 = (b lsr i) land 1 then go (i - 1) (acc + 1)
@@ -39,55 +55,100 @@ let msb_agreement ~base a b =
 
 type walk_state = { mutable hole_seen : bool; mutable surrogate_hops : int }
 
+(* Count trailing zeros of a non-zero mask (< 2^32: base <= 32), de Bruijn
+   multiply — branch-free, the digit scan's inner step. *)
+let ntz_table =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
+
+let ntz x = ntz_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* The digit scans below consult {!Routing_table.filled_mask} instead of
+   probing every slot: the next filled digit in wrap order comes from one
+   rotate + count-trailing-zeros, so holes — most of every level past the
+   resolvable prefix — cost nothing.  The mask is re-read after every failed
+   probe because [on_dead] repair may rewrite slots mid-scan (skipping
+   between probes is pure, so batching the skip is observationally
+   identical to the per-digit scan).  These are top-level functions (not
+   closures inside [choose_next]) so a walk allocates nothing per level. *)
+let rec native_scan net on_dead skip state (node : Node.t) ~level ~want ~base
+    tries =
+  if tries >= base then None
+  else begin
+    let m = Routing_table.filled_mask node.Node.table ~level in
+    let start = want + tries in
+    let start = if start >= base then start - base else start in
+    (* rotate so bit 0 is digit [start]; the low [base] bits survive *)
+    let m = ((m lsr start) lor (m lsl (base - start))) land ((1 lsl base) - 1) in
+    if m = 0 then None
+    else begin
+      let tries = tries + ntz m in
+      if tries >= base then None
+      else begin
+        let j = want + tries in
+        let j = if j >= base then j - base else j in
+        match first_alive net on_dead skip node ~level ~digit:j with
+        | Some n ->
+            if tries > 0 then state.hole_seen <- true;
+            Some n
+        | None ->
+            native_scan net on_dead skip state node ~level ~want ~base (tries + 1)
+      end
+    end
+  end
+
+(* After the first hole (PRR-like): numerically highest filled digit. *)
+let rec prr_down net on_dead skip (node : Node.t) ~level j =
+  if j < 0 then None
+  else if Routing_table.filled_mask node.Node.table ~level land (1 lsl j) = 0
+  then prr_down net on_dead skip node ~level (j - 1)
+  else
+    match first_alive net on_dead skip node ~level ~digit:j with
+    | Some n -> Some n
+    | None -> prr_down net on_dead skip node ~level (j - 1)
+
 (* Choose the next node at [level]; None means every slot at this level is
    empty of alive nodes (impossible while the owner is alive, since it
    occupies its own slot). *)
 let choose_next net on_dead skip variant state (node : Node.t) guid ~level =
   let base = Routing_table.base node.Node.table in
   let want = Node_id.digit guid level in
-  let alive_at digit = first_alive net on_dead skip node ~level ~digit in
   match variant with
-  | Native ->
-      let rec scan tries =
-        if tries = base then None
-        else begin
-          let j = (want + tries) mod base in
-          match alive_at j with
-          | Some n ->
-              if tries > 0 then state.hole_seen <- true;
-              Some n
-          | None -> scan (tries + 1)
-        end
-      in
-      scan 0
+  | Native -> native_scan net on_dead skip state node ~level ~want ~base 0
   | Prr_like ->
-      if not state.hole_seen then begin
-        match alive_at want with
-        | Some n -> Some n
-        | None ->
-            (* First hole: best most-significant-bit agreement, ties to the
-               numerically higher digit. *)
-            state.hole_seen <- true;
-            let best = ref None in
-            for j = 0 to base - 1 do
-              match alive_at j with
+      let hit =
+        if state.hole_seen then None
+        else if
+          Routing_table.filled_mask node.Node.table ~level land (1 lsl want) = 0
+        then None
+        else first_alive net on_dead skip node ~level ~digit:want
+      in
+      (match hit with
+      | Some n -> Some n
+      | None when not state.hole_seen ->
+          (* First hole: best most-significant-bit agreement, ties to the
+             numerically higher digit. *)
+          state.hole_seen <- true;
+          let bits = net.Network.config.Config.digit_bits in
+          let best = ref None in
+          for j = 0 to base - 1 do
+            if
+              Routing_table.filled_mask node.Node.table ~level land (1 lsl j)
+              <> 0
+            then begin
+              match first_alive net on_dead skip node ~level ~digit:j with
               | None -> ()
               | Some n ->
-                  let score = (msb_agreement ~base want j, j) in
+                  let score = (msb_agreement ~bits want j, j) in
                   (match !best with
                   | Some (s, _) when s >= score -> ()
                   | _ -> best := Some (score, n))
-            done;
-            Option.map snd !best
-      end
-      else begin
-        (* After the first hole: numerically highest filled digit. *)
-        let rec scan j =
-          if j < 0 then None
-          else match alive_at j with Some n -> Some n | None -> scan (j - 1)
-        in
-        scan (base - 1)
-      end
+            end
+          done;
+          Option.map snd !best
+      | None -> prr_down net on_dead skip node ~level (base - 1))
 
 let walk_internal variant on_dead skip net ~from guid ~init ~f =
   let digits = net.Network.config.Config.id_digits in
@@ -98,7 +159,7 @@ let walk_internal variant on_dead skip net ~from guid ~init ~f =
       match choose_next net on_dead skip variant state node guid ~level with
       | None -> (node, acc, false, state.surrogate_hops)
       | Some next ->
-          if Node_id.equal next.Node.id node.Node.id then walk node (level + 1) acc
+          if next.Node.handle = node.Node.handle then walk node (level + 1) acc
           else begin
             Network.charge net node next;
             if state.hole_seen then
@@ -155,6 +216,6 @@ let peek_first_hop ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?sk
       match choose_next net on_dead skip variant state node guid ~level with
       | None -> None
       | Some next ->
-          if Node_id.equal next.Node.id node.Node.id then go (level + 1) else Some next
+          if next.Node.handle = node.Node.handle then go (level + 1) else Some next
   in
   go 0

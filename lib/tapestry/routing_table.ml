@@ -1,123 +1,264 @@
 type entry = { id : Node_id.t; dist : float }
 
+(* Packed representation: the [levels * base] slots live in flat parallel
+   arrays of capacity [redundancy] each, sorted in place by distance.  A
+   slot (level, digit) occupies cells
+   [((level * base) + digit) * redundancy ..+ redundancy); [lens] holds the
+   live prefix length per slot.  Entries carry the neighbor's network
+   handle next to its ID so the routing hot path resolves nodes through the
+   O(1) arena with no hashing and no per-hop list allocation.  Vacant [ids]
+   cells are filled with the owner's ID (an arbitrary non-null value, never
+   read).  The previous [entry list array array] implementation survives
+   verbatim as {!Oracle} for differential testing. *)
 type t = {
   owner : Node_id.t;
+  mutable owner_handle : int;
   redundancy : int;
   base : int;
-  slots : entry list array array; (* slots.(level).(digit), ascending dist *)
+  levels : int;
+  ids : Node_id.t array;
+  handles : int array;
+  dists : float array;
+  lens : int array;
+  filled : int array;
+      (* per level, bit [digit] set iff that slot is non-empty: digit scans
+         in the routing hot path test one bit instead of reading [lens]
+         (base <= 32, so a level's mask fits one immediate int) *)
   backs : unit Node_id.Tbl.t array; (* backpointers per level *)
 }
 
+let cell t ~level ~digit = (level * t.base) + digit
+
 let create (cfg : Config.t) ~owner =
-  let slots = Array.init cfg.id_digits (fun _ -> Array.make cfg.base []) in
-  let backs = Array.init cfg.id_digits (fun _ -> Node_id.Tbl.create 8) in
+  let levels = cfg.id_digits in
+  let cells = levels * cfg.base in
+  let t =
+    {
+      owner;
+      owner_handle = -1;
+      redundancy = cfg.redundancy;
+      base = cfg.base;
+      levels;
+      ids = Array.make (cells * cfg.redundancy) owner;
+      handles = Array.make (cells * cfg.redundancy) (-1);
+      dists = Array.make (cells * cfg.redundancy) 0.;
+      lens = Array.make cells 0;
+      filled = Array.make levels 0;
+      backs = Array.init levels (fun _ -> Node_id.Tbl.create 8);
+    }
+  in
   (* The owner fills its own digit slot at every level. *)
-  for l = 0 to cfg.id_digits - 1 do
-    slots.(l).(Node_id.digit owner l) <- [ { id = owner; dist = 0. } ]
+  for l = 0 to levels - 1 do
+    let digit = Node_id.digit owner l in
+    t.lens.(cell t ~level:l ~digit) <- 1;
+    t.filled.(l) <- 1 lsl digit
   done;
-  { owner; redundancy = cfg.redundancy; base = cfg.base; slots; backs }
+  t
+
+let set_owner_handle t handle =
+  t.owner_handle <- handle;
+  for level = 0 to t.levels - 1 do
+    let off = cell t ~level ~digit:(Node_id.digit t.owner level) * t.redundancy in
+    for k = 0 to t.lens.(cell t ~level ~digit:(Node_id.digit t.owner level)) - 1 do
+      if Node_id.equal t.ids.(off + k) t.owner then t.handles.(off + k) <- handle
+    done
+  done
 
 let owner t = t.owner
 
-let levels t = Array.length t.slots
+let owner_handle t = t.owner_handle
+
+let levels t = t.levels
 
 let base t = t.base
 
-let slot t ~level ~digit = t.slots.(level).(digit)
+let slot_len t ~level ~digit = t.lens.((level * t.base) + digit)
+
+let filled_mask t ~level = t.filled.(level)
+
+let slot_id t ~level ~digit ~k = t.ids.((((level * t.base) + digit) * t.redundancy) + k)
+
+let slot_handle t ~level ~digit ~k =
+  t.handles.((((level * t.base) + digit) * t.redundancy) + k)
+
+let slot_dist t ~level ~digit ~k =
+  t.dists.((((level * t.base) + digit) * t.redundancy) + k)
+
+let slot t ~level ~digit =
+  let c = cell t ~level ~digit in
+  let off = c * t.redundancy in
+  let rec build k =
+    if k >= t.lens.(c) then []
+    else { id = t.ids.(off + k); dist = t.dists.(off + k) } :: build (k + 1)
+  in
+  build 0
 
 let primary t ~level ~digit =
-  match t.slots.(level).(digit) with [] -> None | e :: _ -> Some e
+  let c = cell t ~level ~digit in
+  if t.lens.(c) = 0 then None
+  else
+    let off = c * t.redundancy in
+    Some { id = t.ids.(off); dist = t.dists.(off) }
 
-let is_hole t ~level ~digit =
-  match t.slots.(level).(digit) with [] -> true | _ :: _ -> false
+let is_hole t ~level ~digit = t.lens.((level * t.base) + digit) = 0
 
-let insert_sorted e l =
-  let rec go = function
-    | [] -> [ e ]
-    | x :: rest -> if e.dist < x.dist then e :: x :: rest else x :: go rest
-  in
-  go l
+(* Insertion index matching the oracle's [insert_sorted] (strict [<]):
+   the new entry lands after every entry with an equal or smaller
+   distance, preserving arrival order among ties. *)
+let insertion_pos t ~off ~len dist =
+  let rec go k = if k < len && t.dists.(off + k) <= dist then go (k + 1) else k in
+  go 0
 
-let consider t ~level ~candidate ~dist =
+(* Shift [off+pos .. off+len-1] one cell right (the caller guarantees
+   capacity) and write the new entry at [off+pos]. *)
+let insert_at t ~off ~len ~pos ~id ~handle ~dist =
+  for k = len - 1 downto pos do
+    t.ids.(off + k + 1) <- t.ids.(off + k);
+    t.handles.(off + k + 1) <- t.handles.(off + k);
+    t.dists.(off + k + 1) <- t.dists.(off + k)
+  done;
+  t.ids.(off + pos) <- id;
+  t.handles.(off + pos) <- handle;
+  t.dists.(off + pos) <- dist
+
+let remove_at t ~off ~len ~pos =
+  for k = pos to len - 2 do
+    t.ids.(off + k) <- t.ids.(off + k + 1);
+    t.handles.(off + k) <- t.handles.(off + k + 1);
+    t.dists.(off + k) <- t.dists.(off + k + 1)
+  done;
+  t.ids.(off + len - 1) <- t.owner;
+  t.handles.(off + len - 1) <- -1
+
+let consider ?(handle = -1) t ~level ~candidate ~dist =
   if Node_id.equal candidate t.owner then `Known
   else begin
     let digit = Node_id.digit candidate level in
-    let cur = t.slots.(level).(digit) in
-    if List.exists (fun e -> Node_id.equal e.id candidate) cur then begin
-      (* Refresh the recorded distance (it may have been estimated). *)
-      let cur = List.filter (fun e -> not (Node_id.equal e.id candidate)) cur in
-      t.slots.(level).(digit) <- insert_sorted { id = candidate; dist } cur;
+    let c = cell t ~level ~digit in
+    let off = c * t.redundancy in
+    let len = t.lens.(c) in
+    let rec find k =
+      if k >= len then -1
+      else if Node_id.equal t.ids.(off + k) candidate then k
+      else find (k + 1)
+    in
+    let found = find 0 in
+    if found >= 0 then begin
+      (* Refresh the recorded distance (it may have been estimated),
+         keeping the stored handle when the caller has none. *)
+      let handle = if handle >= 0 then handle else t.handles.(off + found) in
+      remove_at t ~off ~len ~pos:found;
+      let pos = insertion_pos t ~off ~len:(len - 1) dist in
+      insert_at t ~off ~len:(len - 1) ~pos ~id:candidate ~handle ~dist;
       `Known
     end
+    else if len < t.redundancy then begin
+      let pos = insertion_pos t ~off ~len dist in
+      insert_at t ~off ~len ~pos ~id:candidate ~handle ~dist;
+      t.lens.(c) <- len + 1;
+      t.filled.(level) <- t.filled.(level) lor (1 lsl digit);
+      `Added None
+    end
     else begin
-      let updated = insert_sorted { id = candidate; dist } cur in
-      if List.length updated <= t.redundancy then begin
-        t.slots.(level).(digit) <- updated;
-        `Added None
-      end
+      (* Full slot: the farthest entry is dropped; if that would be the
+         candidate itself, reject without touching the slot. *)
+      let pos = insertion_pos t ~off ~len dist in
+      if pos >= t.redundancy then `Rejected
       else begin
-        (* Drop the farthest; if that is the candidate itself, reject. *)
-        let rec split_last acc = function
-          | [ last ] -> (List.rev acc, last)
-          | x :: rest -> split_last (x :: acc) rest
-          | [] -> assert false
-        in
-        let kept, last = split_last [] updated in
-        if Node_id.equal last.id candidate then `Rejected
-        else begin
-          t.slots.(level).(digit) <- kept;
-          `Added (Some last.id)
-        end
+        let evicted = t.ids.(off + len - 1) in
+        for k = len - 2 downto pos do
+          t.ids.(off + k + 1) <- t.ids.(off + k);
+          t.handles.(off + k + 1) <- t.handles.(off + k);
+          t.dists.(off + k + 1) <- t.dists.(off + k)
+        done;
+        t.ids.(off + pos) <- candidate;
+        t.handles.(off + pos) <- handle;
+        t.dists.(off + pos) <- dist;
+        `Added (Some evicted)
       end
     end
   end
 
 let update_distances t ~measure =
   let changed = ref 0 in
-  Array.iter
-    (fun row ->
-      Array.iteri
-        (fun digit entries ->
-          match entries with
-          | [] -> ()
-          | old_primary :: _ ->
-              let remeasured =
-                List.filter_map
-                  (fun e ->
-                    if Node_id.equal e.id t.owner then Some { e with dist = 0. }
-                    else
-                      match measure e.id with
-                      | Some d -> Some { e with dist = d }
-                      | None -> None)
-                  entries
-              in
-              let sorted =
-                List.sort (fun a b -> Float.compare a.dist b.dist) remeasured
-              in
-              row.(digit) <- sorted;
-              (match sorted with
-              | p :: _ when not (Node_id.equal p.id old_primary.id) -> incr changed
-              | [] -> incr changed
-              | _ -> ()))
-        row)
-    t.slots;
+  for level = 0 to t.levels - 1 do
+    for digit = 0 to t.base - 1 do
+      let c = cell t ~level ~digit in
+      let len = t.lens.(c) in
+      if len > 0 then begin
+        let off = c * t.redundancy in
+        let old_primary = t.ids.(off) in
+        (* Re-measure in place, compacting out dropped entries. *)
+        let m = ref 0 in
+        for k = 0 to len - 1 do
+          let id = t.ids.(off + k) in
+          let d =
+            if Node_id.equal id t.owner then Some 0. else measure id
+          in
+          match d with
+          | Some d ->
+              t.ids.(off + !m) <- id;
+              t.handles.(off + !m) <- t.handles.(off + k);
+              t.dists.(off + !m) <- d;
+              incr m
+          | None -> ()
+        done;
+        for k = !m to len - 1 do
+          t.ids.(off + k) <- t.owner;
+          t.handles.(off + k) <- -1
+        done;
+        t.lens.(c) <- !m;
+        if !m = 0 then
+          t.filled.(level) <- t.filled.(level) land lnot (1 lsl digit);
+        (* Stable insertion sort by distance (ties keep their order, the
+           same result as the oracle's [List.sort Float.compare]). *)
+        for k = 1 to !m - 1 do
+          let id = t.ids.(off + k)
+          and h = t.handles.(off + k)
+          and d = t.dists.(off + k) in
+          let j = ref (k - 1) in
+          while !j >= 0 && t.dists.(off + !j) > d do
+            t.ids.(off + !j + 1) <- t.ids.(off + !j);
+            t.handles.(off + !j + 1) <- t.handles.(off + !j);
+            t.dists.(off + !j + 1) <- t.dists.(off + !j);
+            decr j
+          done;
+          t.ids.(off + !j + 1) <- id;
+          t.handles.(off + !j + 1) <- h;
+          t.dists.(off + !j + 1) <- d
+        done;
+        if !m = 0 then incr changed
+        else if not (Node_id.equal t.ids.(off) old_primary) then incr changed
+      end
+    done
+  done;
   !changed
 
 let remove t target =
   if Node_id.equal target t.owner then []
   else begin
     let found = ref [] in
-    Array.iteri
-      (fun l row ->
-        let digit = Node_id.digit target l in
-        if digit < Array.length row then begin
-          let cur = row.(digit) in
-          if List.exists (fun e -> Node_id.equal e.id target) cur then begin
-            row.(digit) <- List.filter (fun e -> not (Node_id.equal e.id target)) cur;
-            found := l :: !found
-          end
-        end)
-      t.slots;
+    for level = 0 to t.levels - 1 do
+      let digit = Node_id.digit target level in
+      if digit < t.base then begin
+        let c = cell t ~level ~digit in
+        let off = c * t.redundancy in
+        let len = t.lens.(c) in
+        let rec find k =
+          if k >= len then -1
+          else if Node_id.equal t.ids.(off + k) target then k
+          else find (k + 1)
+        in
+        let pos = find 0 in
+        if pos >= 0 then begin
+          remove_at t ~off ~len ~pos;
+          t.lens.(c) <- len - 1;
+          if len = 1 then
+            t.filled.(level) <- t.filled.(level) land lnot (1 lsl digit);
+          found := level :: !found
+        end
+      end
+    done;
     List.rev !found
   end
 
@@ -139,17 +280,23 @@ let all_backpointers t =
 
 let known_at_level t ~level =
   let seen = Node_id.Tbl.create 16 in
-  Array.iter
-    (List.iter (fun e ->
-         if not (Node_id.equal e.id t.owner) then Node_id.Tbl.replace seen e.id ()))
-    t.slots.(level);
+  for digit = 0 to t.base - 1 do
+    let c = cell t ~level ~digit in
+    let off = c * t.redundancy in
+    for k = 0 to t.lens.(c) - 1 do
+      let id = t.ids.(off + k) in
+      if not (Node_id.equal id t.owner) then Node_id.Tbl.replace seen id ()
+    done
+  done;
   Node_id.Tbl.fold (fun id () acc -> id :: acc) seen []
 
 let iter_entries t f =
-  Array.iteri
-    (fun level row ->
-      Array.iteri (fun digit es -> List.iter (fun e -> f ~level ~digit e) es) row)
-    t.slots
+  for level = 0 to t.levels - 1 do
+    for digit = 0 to t.base - 1 do
+      (* snapshot, so [f] may remove entries from the slot it is visiting *)
+      List.iter (fun e -> f ~level ~digit e) (slot t ~level ~digit)
+    done
+  done
 
 let entry_count t =
   let c = ref 0 in
@@ -159,30 +306,172 @@ let entry_count t =
 
 let holes t =
   let acc = ref [] in
-  Array.iteri
-    (fun level row ->
-      Array.iteri
-        (fun digit es ->
-          match es with [] -> acc := (level, digit) :: !acc | _ :: _ -> ())
-        row)
-    t.slots;
-  List.rev !acc
+  for level = t.levels - 1 downto 0 do
+    for digit = t.base - 1 downto 0 do
+      if t.lens.((level * t.base) + digit) = 0 then
+        acc := (level, digit) :: !acc
+    done
+  done;
+  !acc
 
 let inject_slot_for_test t ~level ~digit entries =
-  t.slots.(level).(digit) <- entries
+  if List.length entries > t.redundancy then
+    invalid_arg "Routing_table.inject_slot_for_test: beyond slot capacity";
+  let c = cell t ~level ~digit in
+  let off = c * t.redundancy in
+  for k = 0 to t.redundancy - 1 do
+    t.ids.(off + k) <- t.owner;
+    t.handles.(off + k) <- -1;
+    t.dists.(off + k) <- 0.
+  done;
+  List.iteri
+    (fun k e ->
+      t.ids.(off + k) <- e.id;
+      (* injected entries carry no handle; resolution falls back to the
+         directory, preserving the pre-arena behavior for corrupted slots *)
+      t.handles.(off + k) <- (if Node_id.equal e.id t.owner then t.owner_handle else -1);
+      t.dists.(off + k) <- e.dist)
+    entries;
+  t.lens.(c) <- List.length entries;
+  (match entries with
+  | [] -> t.filled.(level) <- t.filled.(level) land lnot (1 lsl digit)
+  | _ :: _ -> t.filled.(level) <- t.filled.(level) lor (1 lsl digit))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>table of %s:@," (Node_id.to_string t.owner);
-  Array.iteri
-    (fun level row ->
-      let cells =
-        Array.to_list row
-        |> List.concat_map (fun es ->
-               List.map (fun e -> Node_id.to_string e.id) es)
-      in
-      match cells with
-      | [] -> ()
-      | _ :: _ ->
-          Format.fprintf ppf "  L%d: %s@," (level + 1) (String.concat " " cells))
-    t.slots;
+  for level = 0 to t.levels - 1 do
+    let cells =
+      List.init t.base (fun digit -> slot t ~level ~digit)
+      |> List.concat_map (fun es -> List.map (fun e -> Node_id.to_string e.id) es)
+    in
+    match cells with
+    | [] -> ()
+    | _ :: _ ->
+        Format.fprintf ppf "  L%d: %s@," (level + 1) (String.concat " " cells)
+  done;
   Format.fprintf ppf "@]"
+
+(* --- reference oracle: the original list-based slots --- *)
+
+module Oracle = struct
+  type nonrec entry = entry = { id : Node_id.t; dist : float }
+
+  type t = {
+    owner : Node_id.t;
+    redundancy : int;
+    base : int;
+    slots : entry list array array; (* slots.(level).(digit), ascending dist *)
+  }
+
+  let create (cfg : Config.t) ~owner =
+    let slots = Array.init cfg.id_digits (fun _ -> Array.make cfg.base []) in
+    for l = 0 to cfg.id_digits - 1 do
+      slots.(l).(Node_id.digit owner l) <- [ { id = owner; dist = 0. } ]
+    done;
+    { owner; redundancy = cfg.redundancy; base = cfg.base; slots }
+
+  let slot t ~level ~digit = t.slots.(level).(digit)
+
+  let primary t ~level ~digit =
+    match t.slots.(level).(digit) with [] -> None | e :: _ -> Some e
+
+  (* Single pass: drop any previous occurrence of [e.id] while inserting
+     [e] at its stable sorted position (after equal distances). *)
+  let refresh_insert e l =
+    let rec go inserted l =
+      match l with
+      | [] -> ((if inserted then [] else [ e ]), false)
+      | x :: rest ->
+          if Node_id.equal x.id e.id then
+            let tail, _ = go inserted rest in
+            (tail, true)
+          else if (not inserted) && e.dist < x.dist then
+            let tail, found = go true l in
+            (e :: tail, found)
+          else
+            let tail, found = go inserted rest in
+            (x :: tail, found)
+    in
+    go false l
+
+  let consider t ~level ~candidate ~dist =
+    if Node_id.equal candidate t.owner then `Known
+    else begin
+      let digit = Node_id.digit candidate level in
+      let cur = t.slots.(level).(digit) in
+      let updated, was_known = refresh_insert { id = candidate; dist } cur in
+      if was_known then begin
+        t.slots.(level).(digit) <- updated;
+        `Known
+      end
+      else if List.length updated <= t.redundancy then begin
+        t.slots.(level).(digit) <- updated;
+        `Added None
+      end
+      else begin
+        (* Drop the farthest; if that is the candidate itself, reject. *)
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+          | [] -> assert false
+        in
+        let kept, last = split_last [] updated in
+        if Node_id.equal last.id candidate then `Rejected
+        else begin
+          t.slots.(level).(digit) <- kept;
+          `Added (Some last.id)
+        end
+      end
+    end
+
+  let update_distances t ~measure =
+    let changed = ref 0 in
+    Array.iter
+      (fun row ->
+        Array.iteri
+          (fun digit entries ->
+            match entries with
+            | [] -> ()
+            | old_primary :: _ ->
+                let remeasured =
+                  List.filter_map
+                    (fun e ->
+                      if Node_id.equal e.id t.owner then Some { e with dist = 0. }
+                      else
+                        match measure e.id with
+                        | Some d -> Some { e with dist = d }
+                        | None -> None)
+                    entries
+                in
+                let sorted =
+                  List.sort (fun a b -> Float.compare a.dist b.dist) remeasured
+                in
+                row.(digit) <- sorted;
+                (match sorted with
+                | p :: _ when not (Node_id.equal p.id old_primary.id) ->
+                    incr changed
+                | [] -> incr changed
+                | _ -> ()))
+          row)
+      t.slots;
+    !changed
+
+  let remove t target =
+    if Node_id.equal target t.owner then []
+    else begin
+      let found = ref [] in
+      Array.iteri
+        (fun l row ->
+          let digit = Node_id.digit target l in
+          if digit < Array.length row then begin
+            let cur = row.(digit) in
+            if List.exists (fun e -> Node_id.equal e.id target) cur then begin
+              row.(digit) <-
+                List.filter (fun e -> not (Node_id.equal e.id target)) cur;
+              found := l :: !found
+            end
+          end)
+        t.slots;
+      List.rev !found
+    end
+end

@@ -10,7 +10,13 @@
 
     The owner itself appears in its own slot at every level with distance 0,
     which makes routing and multicast uniform.  Backpointers record, per
-    level, which nodes hold this node in their table (Section 2.1). *)
+    level, which nodes hold this node in their table (Section 2.1).
+
+    Slots are packed flat arrays of [(id, handle, dist)] triples sorted in
+    place (capacity R), so the routing hot path reads entries by index and
+    resolves nodes through the network's O(1) handle arena — no hashing, no
+    per-hop allocation.  The original [entry list array array]
+    implementation is retained as {!Oracle} for differential testing. *)
 
 type entry = { id : Node_id.t; dist : float }
 
@@ -21,24 +27,55 @@ val create : Config.t -> owner:Node_id.t -> t
 
 val owner : t -> Node_id.t
 
+val owner_handle : t -> int
+(** The owner's arena handle, [-1] until {!set_owner_handle}. *)
+
+val set_owner_handle : t -> int -> unit
+(** Record the owner's arena handle (called once by [Network.register])
+    and stamp it on the owner's self-entries. *)
+
 val levels : t -> int
 
 val base : t -> int
 
 val slot : t -> level:int -> digit:int -> entry list
-(** Ascending by distance.  [level] is the shared-prefix length (0-based). *)
+(** Ascending by distance.  [level] is the shared-prefix length (0-based).
+    Allocates a fresh list view; hot paths should use {!slot_len} /
+    {!slot_id} / {!slot_handle} / {!slot_dist} instead. *)
+
+val slot_len : t -> level:int -> digit:int -> int
+(** Number of live entries in the slot, O(1). *)
+
+val filled_mask : t -> level:int -> int
+(** Bitmask over digits: bit [j] is set iff slot [(level, j)] is non-empty.
+    Lets a digit scan skip holes with one bit test per digit instead of a
+    [slot_len] read (requires [base <= Sys.int_size - 1], which
+    {!Node_id}'s radix-32 alphabet already guarantees). *)
+
+val slot_id : t -> level:int -> digit:int -> k:int -> Node_id.t
+(** ID of the [k]-th closest entry ([k < slot_len]), O(1). *)
+
+val slot_handle : t -> level:int -> digit:int -> k:int -> int
+(** Arena handle of the [k]-th entry, O(1); [-1] when unknown (entries
+    injected by tests), in which case resolution must fall back to the
+    directory. *)
+
+val slot_dist : t -> level:int -> digit:int -> k:int -> float
+(** Recorded distance of the [k]-th entry, O(1). *)
 
 val primary : t -> level:int -> digit:int -> entry option
 
 val is_hole : t -> level:int -> digit:int -> bool
 
-val consider : t -> level:int -> candidate:Node_id.t -> dist:float ->
-  [ `Added of Node_id.t option | `Rejected | `Known ]
+val consider : ?handle:int -> t -> level:int -> candidate:Node_id.t ->
+  dist:float -> [ `Added of Node_id.t option | `Rejected | `Known ]
 (** Offer a candidate for the slot its digit selects at [level].  Keeps the
     R closest; on success returns the evicted entry (whose backpointer must
     be dropped), [`Known] if already present (distance refreshed), and
     [`Rejected] if the slot is full of closer nodes.  The caller must verify
-    the candidate actually shares [level] digits with the owner. *)
+    the candidate actually shares [level] digits with the owner.  [handle]
+    is the candidate's arena handle; omitted (tests), the entry falls back
+    to directory resolution on the hot path. *)
 
 val update_distances : t -> measure:(Node_id.t -> float option) -> int
 (** Re-measure every entry ([None] drops it) and re-sort each slot; returns
@@ -76,3 +113,26 @@ val inject_slot_for_test : t -> level:int -> digit:int -> entry list -> unit
     protocol code — it deliberately lets tests corrupt the mesh. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** The pre-packing list-based slot implementation, kept as a reference
+    oracle: the differential property suite drives {!t} and {!Oracle.t}
+    through identical [consider]/[remove]/[update_distances] churn and
+    asserts identical slots and verdicts. *)
+module Oracle : sig
+  type nonrec entry = entry = { id : Node_id.t; dist : float }
+
+  type t
+
+  val create : Config.t -> owner:Node_id.t -> t
+
+  val slot : t -> level:int -> digit:int -> entry list
+
+  val primary : t -> level:int -> digit:int -> entry option
+
+  val consider : t -> level:int -> candidate:Node_id.t -> dist:float ->
+    [ `Added of Node_id.t option | `Rejected | `Known ]
+
+  val update_distances : t -> measure:(Node_id.t -> float option) -> int
+
+  val remove : t -> Node_id.t -> int list
+end

@@ -13,7 +13,7 @@ let check_property4 net =
           Node_id.Tbl.iter
             (fun guid () ->
               for root_idx = 0 to cfg.Config.root_set_size - 1 do
-                let salted = Node_id.salt ~base:cfg.Config.base guid root_idx in
+                let salted = Network.salted net guid root_idx in
                 let _, _, _ =
                   Route.fold_path net ~from:server salted ~init:()
                     ~f:(fun () hop ->

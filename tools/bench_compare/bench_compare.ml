@@ -1,0 +1,97 @@
+(* Diff two bench JSON files (schema tapestry-bench/1) op by op.
+
+   Usage: bench_compare [--threshold PCT] BASELINE.json CURRENT.json
+
+   Prints a per-op table of ns/op before/after and the ratio, flags ops
+   whose ns/op regressed by more than the threshold (default 25%), and
+   exits non-zero if any op regressed past it.  Microbenchmark noise on
+   shared machines easily reaches tens of percent, so callers that wire
+   this into CI should treat the exit code as advisory. *)
+
+let usage = "bench_compare [--threshold PCT] BASELINE.json CURRENT.json"
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e -> fail "bench_compare: %s" e
+
+let load path =
+  match Simnet.Json.parse (read_file path) with
+  | Error e -> fail "bench_compare: %s: %s" path e
+  | Ok j -> (
+      (match Simnet.Json.member "schema" j with
+      | Some (Simnet.Json.String "tapestry-bench/1") -> ()
+      | _ -> fail "bench_compare: %s: not a tapestry-bench/1 file" path);
+      match Simnet.Json.member "micro" j with
+      | Some (Simnet.Json.List entries) ->
+          List.filter_map
+            (fun e ->
+              match
+                (Simnet.Json.member "name" e, Simnet.Json.member "ns_per_op" e)
+              with
+              | Some (Simnet.Json.String name), Some (Simnet.Json.Float v) ->
+                  Some (name, v)
+              | Some (Simnet.Json.String name), Some (Simnet.Json.Int v) ->
+                  Some (name, float_of_int v)
+              | _ -> None)
+            entries
+      | _ -> fail "bench_compare: %s: no micro section" path)
+
+let () =
+  let threshold = ref 25.0 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> threshold := t
+        | _ -> fail "bench_compare: bad threshold %S" v);
+        parse_args rest
+    | ("--help" | "-h") :: _ ->
+        print_endline usage;
+        exit 0
+    | a :: rest ->
+        files := a :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let base_file, cur_file =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ -> fail "usage: %s" usage
+  in
+  let base = load base_file and cur = load cur_file in
+  let regressed = ref 0 in
+  Printf.printf "%-44s %12s %12s %8s\n" "benchmark" "baseline" "current" "ratio";
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "%-44s %12.0f %12s %8s\n" name b "-" "gone"
+      | Some c ->
+          let ratio = c /. b in
+          let flag =
+            if ratio > 1. +. (!threshold /. 100.) then begin
+              incr regressed;
+              "  REGRESSED"
+            end
+            else ""
+          in
+          Printf.printf "%-44s %12.0f %12.0f %7.2fx%s\n" name b c ratio flag)
+    base;
+  List.iter
+    (fun (name, c) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "%-44s %12s %12.0f %8s\n" name "-" c "new")
+    cur;
+  if !regressed > 0 then begin
+    Printf.printf "%d op(s) regressed more than %g%% vs %s\n" !regressed
+      !threshold base_file;
+    exit 1
+  end
+  else Printf.printf "no op regressed more than %g%% vs %s\n" !threshold base_file

@@ -10,4 +10,17 @@ dune build @lint
 # Bench smoke: microbenches under a tiny quota + BENCH_results JSON
 # round-trip through the parser.
 dune build @bench-smoke
+
+# Advisory perf diff vs the committed baseline: a short bench run is far
+# too noisy to gate on, so regressions are reported but never fail the
+# check.
+if [ -f BENCH_baseline.json ]; then
+  tmp_bench=$(mktemp /tmp/bench_current.XXXXXX.json)
+  dune exec bench/main.exe -- --no-tables --quota 0.25 --json "$tmp_bench" \
+    > /dev/null 2>&1 || true
+  dune exec tools/bench_compare/bench_compare.exe -- \
+    BENCH_baseline.json "$tmp_bench" || true
+  rm -f "$tmp_bench"
+fi
+
 echo "check: build + tests + lint + bench smoke all clean"

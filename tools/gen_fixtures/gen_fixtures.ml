@@ -1,0 +1,30 @@
+(* Regenerate the golden experiment-table fixtures under test/fixtures.
+
+   The determinism suite asserts that the E1/E2 tables at seed 42 are
+   byte-identical to these fixtures, so any change to routing-table
+   representation, routing order or cost accounting that shifts an
+   experiment output is caught.  When a table legitimately changes
+   (new columns, new semantics), rerun
+
+     dune exec tools/gen_fixtures/gen_fixtures.exe
+
+   from the repo root and commit the refreshed fixture together with the
+   change that caused it. *)
+
+let fixture_path = "test/fixtures/e1_e2_seed42.txt"
+
+let render_experiment name =
+  let tables =
+    Evaluation.Experiment.by_name ~seed:42 ~domains:1 Evaluation.Experiment.Quick
+      name
+  in
+  String.concat "\n" (List.map Simnet.Stats.Table.render tables)
+
+let () =
+  let doc =
+    String.concat "\n" (List.map render_experiment [ "table1"; "stretch" ])
+  in
+  let oc = open_out fixture_path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" fixture_path (String.length doc)
