@@ -287,6 +287,43 @@ let micro_tests seed =
                     s.Node.id)
            | _ -> ()))
   in
+  let multicast_oracle_test =
+    Test.make ~name:"multicast list-oracle len-1 prefix (n=256)"
+      (Staged.stage (fun () ->
+           let anchor = Network.random_alive net in
+           let prefix = Node_id.digits anchor.Node.id in
+           ignore
+             (Multicast.Oracle.run net ~start:anchor ~prefix ~len:1
+                ~apply:ignore)))
+  in
+  (* The Figure 11 watch-list variant: every recipient scans the carried
+     hole bitmap.  Rows are refilled per op so both sides do the same
+     certification work. *)
+  let wl = Array.init 2 (fun _ -> Array.make cfg.Config.base true) in
+  let reset_wl () =
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) true) wl
+  in
+  let no_hit ~level:_ ~digit:_ (_ : Node.t) = () in
+  let multicast_watch_test =
+    Test.make ~name:"multicast watchlist len-1 (n=256)"
+      (Staged.stage (fun () ->
+           reset_wl ();
+           let anchor = Network.random_alive net in
+           let prefix = Node_id.digits anchor.Node.id in
+           ignore
+             (Multicast.run ~on_watch_hit:no_hit ~watchlist:wl net
+                ~start:anchor ~prefix ~len:1 ~apply:ignore)))
+  in
+  let multicast_watch_oracle_test =
+    Test.make ~name:"multicast watchlist list-oracle len-1 (n=256)"
+      (Staged.stage (fun () ->
+           reset_wl ();
+           let anchor = Network.random_alive net in
+           let prefix = Node_id.digits anchor.Node.id in
+           ignore
+             (Multicast.Oracle.run ~on_watch_hit:no_hit ~watchlist:wl net
+                ~start:anchor ~prefix ~len:1 ~apply:ignore)))
+  in
   (* insert+delete cycle on a side network so [net] stays stable *)
   let net2, _ =
     Insert.build_incremental ~seed:(seed + 7) Config.default metric
@@ -298,6 +335,59 @@ let micro_tests seed =
            let gw = Network.random_alive net2 in
            let r = Insert.insert net2 ~gateway:gw ~addr:200 in
            ignore (Delete.voluntary net2 r.Insert.node)))
+  in
+  (* Paired insertion-path benches at n=256, on their own network (metric
+     widened so the churn addr is a fresh point).  Each op inserts then
+     voluntarily deletes, so the node count is stable across the run; the
+     list-oracle twin drives the identical pipeline on the pre-packing
+     engines. *)
+  let metric3 =
+    Simnet.Topology.generate Simnet.Topology.Uniform_square ~n:300 ~rng
+  in
+  let net3, _ =
+    Insert.build_incremental ~seed:(seed + 11) Config.default metric3
+      ~addrs:(List.init 256 (fun i -> i))
+  in
+  let insert256_test =
+    Test.make ~name:"insert (n=256)"
+      (Staged.stage (fun () ->
+           let gw = Network.random_alive net3 in
+           let r = Insert.insert net3 ~gateway:gw ~addr:299 in
+           ignore (Delete.voluntary net3 r.Insert.node)))
+  in
+  let insert256_oracle_test =
+    Test.make ~name:"insert list-oracle (n=256)"
+      (Staged.stage (fun () ->
+           let gw = Network.random_alive net3 in
+           let r = Insert.Oracle.insert net3 ~gateway:gw ~addr:299 in
+           ignore (Delete.voluntary net3 r.Insert.node)))
+  in
+  (* The descent alone, seeded by the surrogate as in a standalone run. *)
+  let acquire_test =
+    Test.make ~name:"acquire_neighbor_table (n=256)"
+      (Staged.stage (fun () ->
+           let id = Network.fresh_id net3 in
+           let probe = Node.create cfg ~id ~addr:299 in
+           Network.register net3 probe;
+           let surrogate = Network.surrogate_oracle net3 id in
+           ignore
+             (Nearest_neighbor.acquire_neighbor_table net3 ~new_node:probe
+                ~surrogate ~initial_list:[ surrogate ]);
+           Network.activate net3 probe;
+           ignore (Delete.voluntary net3 probe)))
+  in
+  let acquire_oracle_test =
+    Test.make ~name:"acquire_neighbor_table list-oracle (n=256)"
+      (Staged.stage (fun () ->
+           let id = Network.fresh_id net3 in
+           let probe = Node.create cfg ~id ~addr:299 in
+           Network.register net3 probe;
+           let surrogate = Network.surrogate_oracle net3 id in
+           ignore
+             (Nearest_neighbor.Oracle.acquire_neighbor_table net3
+                ~new_node:probe ~surrogate ~initial_list:[ surrogate ]);
+           Network.activate net3 probe;
+           ignore (Delete.voluntary net3 probe)))
   in
   let ch = Baselines.Chord.create ~seed:(seed + 3) ~m:24 ~succ_list:4 metric in
   ignore (Baselines.Chord.bootstrap ch ~addr:0);
@@ -313,8 +403,10 @@ let micro_tests seed =
   in
   [
     route_test; route_oracle_test; locate_test; locate_oracle_test;
-    publish_test; multicast_test; random_alive_test; random_alive_naive_test;
-    surrogate_test; surrogate_rebuild_test; insert_test; chord_test;
+    publish_test; multicast_test; multicast_oracle_test; multicast_watch_test;
+    multicast_watch_oracle_test; random_alive_test; random_alive_naive_test;
+    surrogate_test; surrogate_rebuild_test; insert_test; insert256_test;
+    insert256_oracle_test; acquire_test; acquire_oracle_test; chord_test;
   ]
 
 let run_micro ~quota seed =

@@ -12,7 +12,11 @@ type staged = {
   new_node : Node.t;
   surrogate : Node.t;
   shared : int;
-  started : Simnet.Cost.t; (* cost snapshot when the insertion began *)
+  acc : Simnet.Cost.t;
+      (* this insertion's own charges, accumulated stage by stage: each
+         stage runs under [Network.measure], so charges from other staged
+         insertions interleaved at stage boundaries are never attributed
+         here (they were under the old begin/end snapshot diff) *)
   adaptive : bool;
   mutable reached : Node.t list;
   mutable transferred : int;
@@ -21,15 +25,33 @@ type staged = {
 let staged_node s = s.new_node
 
 (* GetPrelimNeighborTable: bulk-copy the surrogate's table entries that share
-   a prefix with the new node, so it can route immediately. *)
+   a prefix with the new node, so it can route immediately.  The surrogate's
+   slots are read directly (level/digit/k ascending — the same entry order
+   [iter_entries] produced) and candidates resolve through their stored
+   arena handle; nothing here mutates the surrogate's slots, so no snapshot
+   is needed. *)
 let copy_preliminary_table net ~(new_node : Node.t) ~(surrogate : Node.t) =
   Network.charge net surrogate new_node;
-  ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:surrogate);
-  Routing_table.iter_entries surrogate.Node.table (fun ~level:_ ~digit:_ e ->
-      match Network.find net e.Routing_table.id with
-      | Some cand when Node.is_alive cand ->
-          ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:cand)
-      | _ -> ())
+  ignore
+    (Network.offer_link_all_levels net ~owner:new_node ~candidate:surrogate);
+  let table = surrogate.Node.table in
+  for level = 0 to Routing_table.levels table - 1 do
+    for digit = 0 to Routing_table.base table - 1 do
+      for k = 0 to Routing_table.slot_len table ~level ~digit - 1 do
+        let h = Routing_table.slot_handle table ~level ~digit ~k in
+        let cand =
+          if h >= 0 then Some (Network.node_of_handle net h)
+          else Network.find net (Routing_table.slot_id table ~level ~digit ~k)
+        in
+        match cand with
+        | Some cand when Node.is_alive cand ->
+            ignore
+              (Network.offer_link_all_levels net ~owner:new_node
+                 ~candidate:cand)
+        | _ -> ()
+      done
+    done
+  done
 
 (* LinkAndXferRoot, run at every alpha-node by the insertion multicast:
    adopt the new node where it improves or fills the local table, then push
@@ -42,26 +64,32 @@ let link_and_xfer_root net ~(new_node : Node.t) ~staged (x : Node.t) =
       + Maintenance.optimize_through net ~node:x ~next_hop:new_node.Node.id
   end
 
-let stage_surrogate ?id ?(adaptive = false) net ~gateway ~addr =
+let stage_surrogate_with ~copy_prelim ?id ?(adaptive = false) net ~gateway
+    ~addr =
   let cfg = net.Network.config in
   if not (Node.is_alive gateway) then
     invalid_arg "Insert.stage_surrogate: dead gateway";
   let id = match id with Some id -> id | None -> Network.fresh_id net in
   let new_node = Node.create cfg ~id ~addr in
   Network.register net new_node;
-  let started = Simnet.Cost.snapshot net.Network.cost in
-  (* 1. AcquirePrimarySurrogate: route from the gateway toward the new ID as
-     if it were an object. *)
-  Network.charge net new_node gateway;
-  let info = Route.route_to_root net ~from:gateway id in
-  let surrogate = info.Route.root in
-  new_node.Node.surrogate_hint <- Some surrogate.Node.id;
-  let shared = Node_id.common_prefix_len id surrogate.Node.id in
-  (* 2. Preliminary table. *)
-  copy_preliminary_table net ~new_node ~surrogate;
-  { new_node; surrogate; shared; started; adaptive; reached = []; transferred = 0 }
+  let (surrogate, shared), cost =
+    Network.measure net (fun () ->
+        (* 1. AcquirePrimarySurrogate: route from the gateway toward the new
+           ID as if it were an object. *)
+        Network.charge net new_node gateway;
+        let info = Route.route_to_root net ~from:gateway id in
+        let surrogate = info.Route.root in
+        new_node.Node.surrogate_hint <- Some surrogate.Node.id;
+        let shared = Node_id.common_prefix_len id surrogate.Node.id in
+        (* 2. Preliminary table. *)
+        copy_prelim net ~new_node ~surrogate;
+        (surrogate, shared))
+  in
+  let acc = Simnet.Cost.make () in
+  Simnet.Cost.add acc cost;
+  { new_node; surrogate; shared; acc; adaptive; reached = []; transferred = 0 }
 
-let stage_multicast net staged =
+let stage_multicast_with ~run_multicast net staged =
   let cfg = net.Network.config in
   let { new_node; surrogate; shared; _ } = staged in
   (* 3. Acknowledged multicast over alpha with LinkAndXferRoot and the
@@ -76,23 +104,25 @@ let stage_multicast net staged =
     ignore (Network.offer_link net ~owner:new_node ~level ~candidate:filler)
   in
   let prefix = Node_id.digits new_node.Node.id in
-  let mcast =
-    Multicast.run ~on_watch_hit ~watchlist net ~start:surrogate ~prefix
-      ~len:shared
-      ~apply:(link_and_xfer_root net ~new_node ~staged)
+  let mcast, cost =
+    Network.measure net (fun () ->
+        run_multicast ~on_watch_hit ~watchlist net ~start:surrogate ~prefix
+          ~len:shared
+          ~apply:(link_and_xfer_root net ~new_node ~staged))
   in
+  Simnet.Cost.add staged.acc cost;
   staged.reached <- mcast.Multicast.reached
 
-let stage_acquire net staged =
-  let { new_node; surrogate; shared; started; adaptive; reached; _ } = staged in
+let stage_acquire_with ~acquire net staged =
+  let { new_node; surrogate; shared; acc; adaptive; reached; _ } = staged in
   (* 4. Optimize the table with the nearest-neighbor descent, seeded by the
      multicast's alpha list. *)
-  let nn_trace =
-    Nearest_neighbor.acquire_neighbor_table ~adaptive net ~new_node ~surrogate
-      ~initial_list:reached
+  let nn_trace, cost =
+    Network.measure net (fun () ->
+        acquire ~adaptive net ~new_node ~surrogate ~initial_list:reached)
   in
+  Simnet.Cost.add acc cost;
   Network.activate net new_node;
-  let cost = Simnet.Cost.diff (Simnet.Cost.snapshot net.Network.cost) started in
   {
     node = new_node;
     surrogate;
@@ -100,8 +130,26 @@ let stage_acquire net staged =
     multicast_reached = List.length reached;
     pointers_transferred = staged.transferred;
     nn_trace;
-    cost;
+    cost = Simnet.Cost.snapshot acc;
   }
+
+let stage_surrogate ?id ?adaptive net ~gateway ~addr =
+  stage_surrogate_with ~copy_prelim:copy_preliminary_table ?id ?adaptive net
+    ~gateway ~addr
+
+let stage_multicast net staged =
+  stage_multicast_with
+    ~run_multicast:(fun ~on_watch_hit ~watchlist net ~start ~prefix ~len
+                        ~apply ->
+      Multicast.run ~on_watch_hit ~watchlist net ~start ~prefix ~len ~apply)
+    net staged
+
+let stage_acquire net staged =
+  stage_acquire_with
+    ~acquire:(fun ~adaptive net ~new_node ~surrogate ~initial_list ->
+      Nearest_neighbor.acquire_neighbor_table ~adaptive net ~new_node
+        ~surrogate ~initial_list)
+    net staged
 
 let insert ?id ?adaptive net ~gateway ~addr =
   let staged = stage_surrogate ?id ?adaptive net ~gateway ~addr in
@@ -126,3 +174,46 @@ let build_incremental ?seed cfg metric ~addrs =
           rest
       in
       (net, reports)
+
+(* --- reference oracle: the insertion pipeline on the list engines --- *)
+
+module Oracle = struct
+  (* The original GetPrelimNeighborTable: resolve every surrogate entry
+     through the directory. *)
+  let copy_preliminary_table net ~(new_node : Node.t) ~(surrogate : Node.t) =
+    Network.charge net surrogate new_node;
+    ignore
+      (Network.offer_link_all_levels net ~owner:new_node ~candidate:surrogate);
+    Routing_table.iter_entries surrogate.Node.table
+      (fun ~level:_ ~digit:_ e ->
+        match Network.find net e.Routing_table.id with
+        | Some cand when Node.is_alive cand ->
+            ignore
+              (Network.offer_link_all_levels net ~owner:new_node
+                 ~candidate:cand)
+        | _ -> ())
+
+  let stage_surrogate ?id ?adaptive net ~gateway ~addr =
+    stage_surrogate_with ~copy_prelim:copy_preliminary_table ?id ?adaptive net
+      ~gateway ~addr
+
+  let stage_multicast net staged =
+    stage_multicast_with
+      ~run_multicast:(fun ~on_watch_hit ~watchlist net ~start ~prefix ~len
+                          ~apply ->
+        Multicast.Oracle.run ~on_watch_hit ~watchlist net ~start ~prefix ~len
+          ~apply)
+      net staged
+
+  let stage_acquire net staged =
+    stage_acquire_with
+      ~acquire:(fun ~adaptive net ~new_node ~surrogate ~initial_list ->
+        Nearest_neighbor.Oracle.acquire_neighbor_table ~adaptive net ~new_node
+          ~surrogate ~initial_list)
+      net staged
+
+  let insert ?id ?adaptive net ~gateway ~addr =
+    let staged = stage_surrogate ?id ?adaptive net ~gateway ~addr in
+    stage_multicast net staged;
+    stage_acquire net staged
+end

@@ -1,100 +1,231 @@
 type result = { reached : Node.t list; tree_edges : int }
 
+(* Watch-list handling (Figure 11): on arrival at a node, scan the watched
+   holes it can certify filled and report the filler.  Fillers resolve
+   through the arena handle stored next to the entry; only entries injected
+   without one fall back to the directory. *)
+let check_watchlist net watchlist on_watch_hit (node : Node.t) =
+  match (watchlist, on_watch_hit) with
+  | Some wl, Some hit ->
+      Array.iteri
+        (fun level row ->
+          Array.iteri
+            (fun digit wanted ->
+              if wanted then begin
+                match Routing_table.primary node.Node.table ~level ~digit with
+                | Some e when not (Node_id.equal e.Routing_table.id node.Node.id)
+                  -> (
+                    let h =
+                      Routing_table.slot_handle node.Node.table ~level ~digit
+                        ~k:0
+                    in
+                    let filler =
+                      if h >= 0 then Some (Network.node_of_handle net h)
+                      else Network.find net e.Routing_table.id
+                    in
+                    match filler with
+                    | Some filler when Node.is_alive filler ->
+                        row.(digit) <- false;
+                        hit ~level ~digit filler
+                    | _ -> ())
+                | Some _ when Node.is_alive node ->
+                    (* the recipient itself fills the hole *)
+                    row.(digit) <- false;
+                    hit ~level ~digit node
+                | _ -> ()
+              end)
+            row)
+        wl
+  | _ -> ()
+
+let ntz_table =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
+
+let ntz x = ntz_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* The recursive descent of Figure 8 on the packed representation: visited
+   marking is a generation stamp indexed by arena handle, the per-digit
+   "pinned" target sets are snapshotted as segments of one shared handle
+   stack (the worklist), and the multicast prefix lives in a single mutable
+   buffer — frame [l] owns cell [l], so extending the prefix is one write
+   and the unwind needs no undo (deeper frames never touch shallower
+   cells).  Digits iterate over {!Routing_table.filled_mask} (read after
+   the payload ran at this node, which may fill slots), so holes cost one
+   bit test.  The acknowledgment for each tree edge is charged as that
+   edge's subtree completes (Theorem 5's accounting, attributed where the
+   ack actually flows), so cost snapshots taken between interleaved staged
+   insertions see every ack inside the insertion that caused it. *)
 let run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
   if not (Node_id.has_prefix (start : Node.t).Node.id ~prefix ~len) then
     invalid_arg "Multicast.run: start node lacks the prefix";
   let cfg = net.Network.config in
-  let visited = Node_id.Tbl.create 32 in
-  let reached = ref [] in
+  let s = net.Network.scratch in
+  Scratch.ensure_handles s ~n:net.Network.arena_len;
+  let gen = Scratch.bump_visit s in
+  s.Scratch.reached_len <- 0;
+  s.Scratch.sp <- 0;
   let edges = ref 0 in
-  (* Watch-list handling (Figure 11): on arrival at a node, scan the watched
-     holes it can certify filled and report the filler. *)
-  let check_watchlist (node : Node.t) =
-    match (watchlist, on_watch_hit) with
-    | Some wl, Some hit ->
-        Array.iteri
-          (fun level row ->
-            Array.iteri
-              (fun digit wanted ->
-                if wanted then begin
-                  match Routing_table.primary node.Node.table ~level ~digit with
-                  | Some e when not (Node_id.equal e.Routing_table.id node.Node.id)
-                    -> (
-                      match Network.find net e.Routing_table.id with
-                      | Some filler when Node.is_alive filler ->
-                          row.(digit) <- false;
-                          hit ~level ~digit filler
-                      | _ -> ())
-                  | Some _ when Node.is_alive node ->
-                      (* the recipient itself fills the hole *)
-                      row.(digit) <- false;
-                      hit ~level ~digit node
-                  | _ -> ()
-                end)
-              row)
-          wl
-    | _ -> ()
-  in
-  (* Recursive descent: at [node] holding the multicast for [prefix] of
-     length [l], forward to one node per one-digit extension. *)
-  let rec descend (node : Node.t) cur_prefix l =
-    if not (Node_id.Tbl.mem visited node.Node.id) then begin
-      Node_id.Tbl.replace visited node.Node.id ();
-      reached := node :: !reached;
-      check_watchlist node;
+  let buf = Array.make cfg.Config.id_digits 0 in
+  Array.blit prefix 0 buf 0 len;
+  let rec descend (node : Node.t) l =
+    if s.Scratch.stamp.(node.Node.handle) <> gen then begin
+      s.Scratch.stamp.(node.Node.handle) <- gen;
+      Scratch.push_reached s node.Node.handle;
+      check_watchlist net watchlist on_watch_hit node;
       apply node
     end;
     if l < cfg.Config.id_digits then begin
-      for j = 0 to cfg.Config.base - 1 do
-        List.iter
-          (fun (next : Node.t) ->
-            if Node_id.equal next.Node.id node.Node.id then begin
-              (* message to self: no network cost, deeper prefix *)
-              let p = Array.copy cur_prefix in
-              p.(l) <- j;
-              descend node p (l + 1)
-            end
-            else if not (Node_id.Tbl.mem visited next.Node.id) then begin
-              incr edges;
-              Network.charge_aside net node next;
-              let p = Array.copy cur_prefix in
-              p.(l) <- j;
-              descend next p (l + 1)
-            end)
-          (pick_targets node ~level:l ~digit:j)
-      done;
-      (* acknowledgment back to the parent *)
-      ()
+      let table = node.Node.table in
+      let mask = ref (Routing_table.filled_mask table ~level:l) in
+      while !mask <> 0 do
+        let j = ntz !mask in
+        mask := !mask land (!mask - 1);
+        (* Snapshot this digit's target set: one settled ("unpinned") entry
+           AND every inserting ("pinned") entry (Section 4.4, Lemma 4), in
+           slot order — entries for nodes that are still inserting are not
+           yet well-connected, so a tree rooted through a half-joined node
+           would miss its siblings if they were skipped.  The snapshot
+           happens before any recursion because the payload and lazy
+           failure repair may rewrite the slot under us; the settled pick
+           (first core alive) rides in a local, the pinned in a stack
+           segment. *)
+        let base_off = s.Scratch.sp in
+        let settled = ref (-1) in
+        for k = 0 to Routing_table.slot_len table ~level:l ~digit:j - 1 do
+          let h = Routing_table.slot_handle table ~level:l ~digit:j ~k in
+          let n =
+            if h >= 0 then Some (Network.node_of_handle net h)
+            else Network.find net (Routing_table.slot_id table ~level:l ~digit:j ~k)
+          in
+          match n with
+          | Some n when Node.is_alive n ->
+              if Node.is_core n then begin
+                if !settled < 0 then settled := n.Node.handle
+              end
+              else Scratch.push_stack s n.Node.handle
+          | _ -> ()
+        done;
+        let top = s.Scratch.sp in
+        buf.(l) <- j;
+        let edge h =
+          if h = node.Node.handle then
+            (* message to self: no network cost, deeper prefix *)
+            descend node (l + 1)
+          else if s.Scratch.stamp.(h) <> gen then begin
+            incr edges;
+            let next = Network.node_of_handle net h in
+            Network.charge_aside net node next;
+            descend next (l + 1);
+            (* acknowledgment back along this tree edge *)
+            Simnet.Cost.message net.Network.cost ~dist:0.
+          end
+        in
+        if !settled >= 0 then edge !settled;
+        for idx = base_off to top - 1 do
+          edge s.Scratch.stack.(idx)
+        done;
+        s.Scratch.sp <- base_off
+      done
     end
-  and pick_targets (node : Node.t) ~level ~digit =
-    (* Pinned pointers (Section 4.4, Lemma 4): entries for nodes that are
-       still inserting are not yet well-connected, so the multicast must be
-       sent to one settled ("unpinned") entry AND every inserting ("pinned")
-       entry — otherwise a tree rooted through a half-joined node misses its
-       siblings. *)
-    let table = node.Node.table in
-    let live = ref [] in
-    for k = Routing_table.slot_len table ~level ~digit - 1 downto 0 do
-      let h = Routing_table.slot_handle table ~level ~digit ~k in
-      let n =
-        if h >= 0 then Some (Network.node_of_handle net h)
-        else Network.find net (Routing_table.slot_id table ~level ~digit ~k)
-      in
-      match n with
-      | Some n when Node.is_alive n -> live := n :: !live
-      | _ -> ()
-    done;
-    let live = !live in
-    let pinned = List.filter (fun (n : Node.t) -> not (Node.is_core n)) live in
-    match List.find_opt Node.is_core live with
-    | Some settled -> settled :: pinned
-    | None -> pinned
   in
-  let buf = Array.make cfg.Config.id_digits 0 in
-  Array.blit prefix 0 buf 0 len;
-  descend start buf len;
-  (* Acknowledgments retrace every tree edge (Theorem 5's accounting). *)
-  for _ = 1 to !edges do
-    Simnet.Cost.message net.Network.cost ~dist:0.
+  descend start len;
+  let reached = ref [] in
+  for i = s.Scratch.reached_len - 1 downto 0 do
+    reached := Network.node_of_handle net s.Scratch.reached.(i) :: !reached
   done;
-  { reached = List.rev !reached; tree_edges = !edges }
+  { reached = !reached; tree_edges = !edges }
+
+(* --- reference oracle: the original list-and-hashtable descent --- *)
+
+module Oracle = struct
+  let run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
+    if not (Node_id.has_prefix (start : Node.t).Node.id ~prefix ~len) then
+      invalid_arg "Multicast.run: start node lacks the prefix";
+    let cfg = net.Network.config in
+    let visited = Node_id.Tbl.create 32 in
+    let reached = ref [] in
+    let edges = ref 0 in
+    let check_watchlist (node : Node.t) =
+      match (watchlist, on_watch_hit) with
+      | Some wl, Some hit ->
+          Array.iteri
+            (fun level row ->
+              Array.iteri
+                (fun digit wanted ->
+                  if wanted then begin
+                    match
+                      Routing_table.primary node.Node.table ~level ~digit
+                    with
+                    | Some e
+                      when not (Node_id.equal e.Routing_table.id node.Node.id)
+                      -> (
+                        match Network.find net e.Routing_table.id with
+                        | Some filler when Node.is_alive filler ->
+                            row.(digit) <- false;
+                            hit ~level ~digit filler
+                        | _ -> ())
+                    | Some _ when Node.is_alive node ->
+                        row.(digit) <- false;
+                        hit ~level ~digit node
+                    | _ -> ()
+                  end)
+                row)
+            wl
+      | _ -> ()
+    in
+    let rec descend (node : Node.t) cur_prefix l =
+      if not (Node_id.Tbl.mem visited node.Node.id) then begin
+        Node_id.Tbl.replace visited node.Node.id ();
+        reached := node :: !reached;
+        check_watchlist node;
+        apply node
+      end;
+      if l < cfg.Config.id_digits then
+        for j = 0 to cfg.Config.base - 1 do
+          List.iter
+            (fun (next : Node.t) ->
+              if Node_id.equal next.Node.id node.Node.id then begin
+                let p = Array.copy cur_prefix in
+                p.(l) <- j;
+                descend node p (l + 1)
+              end
+              else if not (Node_id.Tbl.mem visited next.Node.id) then begin
+                incr edges;
+                Network.charge_aside net node next;
+                let p = Array.copy cur_prefix in
+                p.(l) <- j;
+                descend next p (l + 1)
+              end)
+            (pick_targets node ~level:l ~digit:j)
+        done
+    and pick_targets (node : Node.t) ~level ~digit =
+      let table = node.Node.table in
+      let live = ref [] in
+      for k = Routing_table.slot_len table ~level ~digit - 1 downto 0 do
+        let h = Routing_table.slot_handle table ~level ~digit ~k in
+        let n =
+          if h >= 0 then Some (Network.node_of_handle net h)
+          else Network.find net (Routing_table.slot_id table ~level ~digit ~k)
+        in
+        match n with
+        | Some n when Node.is_alive n -> live := n :: !live
+        | _ -> ()
+      done;
+      let live = !live in
+      let pinned = List.filter (fun (n : Node.t) -> not (Node.is_core n)) live in
+      match List.find_opt Node.is_core live with
+      | Some settled -> settled :: pinned
+      | None -> pinned
+    in
+    let buf = Array.make cfg.Config.id_digits 0 in
+    Array.blit prefix 0 buf 0 len;
+    descend start buf len;
+    (* Acknowledgments retrace every tree edge (Theorem 5's accounting). *)
+    for _ = 1 to !edges do
+      Simnet.Cost.message net.Network.cost ~dist:0.
+    done;
+    { reached = List.rev !reached; tree_edges = !edges }
+end

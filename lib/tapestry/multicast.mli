@@ -33,4 +33,29 @@ val run :
     true = slot still empty at the inserting node), every recipient able to
     fill a watched hole triggers [on_watch_hit] and the slot is marked found.
 
+    The descent runs on the network's {!Scratch} buffers: visited marking is
+    a generation stamp over arena handles, per-digit target sets are
+    snapshotted as segments of one shared handle stack, and the prefix lives
+    in a single mutable buffer — no per-edge allocation.  Each tree edge's
+    acknowledgment is charged as that edge's subtree completes, so cost
+    snapshots taken between interleaved staged insertions attribute every
+    ack to the insertion that caused it (totals are unchanged).
+
     @raise Invalid_argument if [start] does not carry the prefix. *)
+
+(** The pre-packing descent (hashtable visited set, per-edge prefix copies,
+    list-built target sets, acks charged in one batch after the walk), kept
+    as a reference oracle for the differential insertion suite and the
+    paired microbenchmarks.  Observable behavior — reached set and order,
+    tree edges, watch hits, total cost — is identical to {!run}. *)
+module Oracle : sig
+  val run :
+    ?on_watch_hit:(level:int -> digit:int -> Node.t -> unit) ->
+    ?watchlist:bool array array ->
+    Network.t ->
+    start:Node.t ->
+    prefix:int array ->
+    len:int ->
+    apply:(Node.t -> unit) ->
+    result
+end

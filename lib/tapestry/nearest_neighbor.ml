@@ -10,51 +10,305 @@ type trace = {
 let add_to_table_if_closer net ~(contacted : Node.t) ~(new_node : Node.t) =
   Network.offer_link_all_levels net ~owner:contacted ~candidate:new_node > 0
 
-let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list ~k =
-  let candidates = Node_id.Tbl.create 64 in
-  let note (n : Node.t) =
-    if
-      Node.is_alive n
-      && (not (Node_id.equal n.Node.id new_node.Node.id))
-      && Node_id.common_prefix_len n.Node.id new_node.Node.id >= level
-    then Node_id.Tbl.replace candidates n.Node.id n
+(* --- reference oracle: the original list-and-hashtable descent --- *)
+
+module Oracle = struct
+  let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level
+      list ~k =
+    let candidates = Node_id.Tbl.create 64 in
+    let note (n : Node.t) =
+      if
+        Node.is_alive n
+        && (not (Node_id.equal n.Node.id new_node.Node.id))
+        && Node_id.common_prefix_len n.Node.id new_node.Node.id >= level
+      then Node_id.Tbl.replace candidates n.Node.id n
+    in
+    List.iter
+      (fun (n : Node.t) ->
+        (* round trip: ask n for its forward and backward pointers *)
+        Network.charge_aside net new_node n;
+        Network.charge_aside net n new_node;
+        if update_tables then
+          ignore (add_to_table_if_closer net ~contacted:n ~new_node);
+        note n;
+        Routing_table.known_at_level n.Node.table ~level
+        |> List.iter (fun id ->
+               match Network.find net id with Some m -> note m | None -> ());
+        Routing_table.backpointers n.Node.table ~level
+        |> List.iter (fun id ->
+               match Network.find net id with Some m -> note m | None -> ()))
+      list;
+    let all = Node_id.Tbl.fold (fun _ n acc -> n :: acc) candidates [] in
+    let keyed =
+      List.map (fun (n : Node.t) -> (Network.dist net new_node n, n)) all
+      |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
+    in
+    let rec take i = function
+      | [] -> []
+      | (_, n) :: rest -> if i = 0 then [] else n :: take (i - 1) rest
+    in
+    take k keyed
+
+  (* Lemma 2: fill table levels >= [level] from a level list. *)
+  let build_table_from_list net ~(new_node : Node.t) list =
+    List.iter
+      (fun (m : Node.t) ->
+        ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:m))
+      list
+
+  let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
+    let cfg = net.Network.config in
+    let filled = ref 0 in
+    for level = 0 to min max_level (cfg.Config.id_digits - 1) do
+      for digit = 0 to cfg.Config.base - 1 do
+        if Routing_table.is_hole new_node.Node.table ~level ~digit then begin
+          let target_digits = Node_id.digits new_node.Node.id in
+          target_digits.(level) <- digit;
+          let target = Node_id.make target_digits in
+          let info = Route.route_to_root net ~from:surrogate target in
+          let root = info.Route.root in
+          if
+            (not (Node_id.equal root.Node.id new_node.Node.id))
+            && Node_id.common_prefix_len root.Node.id target >= level + 1
+          then begin
+            if Network.offer_link net ~owner:new_node ~level ~candidate:root
+            then incr filled;
+            ignore (add_to_table_if_closer net ~contacted:root ~new_node)
+          end
+        end
+      done
+    done;
+    !filled
+
+  (* One complete descent at width [k]; returns the trace pieces and the
+     closest node of the final (level 0) list. *)
+  let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k
+      ~contacted ~updated =
+    let list =
+      initial_list
+      |> List.filter (fun (m : Node.t) ->
+             Node.is_alive m && not (Node_id.equal m.Node.id new_node.Node.id))
+      |> List.map (fun (m : Node.t) -> (Network.dist net new_node m, m))
+      |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
+      |> List.filteri (fun i _ -> i < k)
+      |> List.map snd
+    in
+    build_table_from_list net ~new_node list;
+    List.iter
+      (fun m ->
+        if add_to_table_if_closer net ~contacted:m ~new_node then incr updated)
+      list;
+    let levels = ref 0 in
+    let current = ref list in
+    for level = max_level - 1 downto 0 do
+      incr levels;
+      let next = get_next_list net ~new_node ~level !current ~k in
+      contacted := !contacted + List.length !current;
+      List.iter
+        (fun m ->
+          if add_to_table_if_closer net ~contacted:m ~new_node then
+            incr updated)
+        next;
+      build_table_from_list net ~new_node next;
+      current := next
+    done;
+    (!levels, match !current with m :: _ -> Some m | [] -> None)
+
+  let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
+      ~(surrogate : Node.t) ~initial_list =
+    let n = Network.node_count net in
+    let base_k = Config.scaled_k net.Network.config ~n in
+    let max_level =
+      Node_id.common_prefix_len new_node.Node.id surrogate.Node.id
+    in
+    let contacted = ref 0 in
+    let updated = ref 0 in
+    let levels = ref 0 in
+    if not adaptive then begin
+      let l, _ =
+        run_descent net ~new_node ~max_level ~initial_list ~k:base_k ~contacted
+          ~updated
+      in
+      levels := l
+    end
+    else begin
+      let rec stabilize k prev tries =
+        let l, head =
+          run_descent net ~new_node ~max_level ~initial_list ~k ~contacted
+            ~updated
+        in
+        levels := !levels + l;
+        match (prev, head) with
+        | Some (a : Node.t), Some b when Node_id.equal a.Node.id b.Node.id -> ()
+        | _, head when tries > 0 && 2 * k <= Network.node_count net ->
+            stabilize (2 * k) head (tries - 1)
+        | _ -> ()
+      in
+      stabilize (max 4 (base_k / 4)) None 5
+    end;
+    let holes = fill_holes net ~new_node ~surrogate ~max_level in
+    {
+      levels_walked = !levels;
+      nodes_contacted = !contacted;
+      tables_updated = !updated;
+      holes_backfilled = holes;
+    }
+end
+
+(* --- packed descent: the same algorithm on the network scratch struct ---
+
+   All per-step state lives in Network.scratch (DESIGN.md §8.7): the
+   candidate set is deduplicated with a generation stamp over arena handles
+   instead of a hashtable, distances to the joiner are memoized per handle
+   for the whole descent, and the k closest are chosen by an in-place
+   bounded max-heap over the candidate buffer instead of sorting a fresh
+   keyed list.  Charge order, table-update order and the selected sets are
+   identical to [Oracle] (ties between exactly-equal distances may order
+   differently; distances are jittered floats, and the differential suite
+   checks equality empirically). *)
+
+(* Select the [k] candidates closest to the joiner from [s.cand], leaving
+   them in ascending distance order in [s.sel]; returns how many.  Bounded
+   max-heap: the root is the worst of the current best-k, so a beaten
+   candidate costs one comparison and a winner one sift. *)
+let select_k_closest (s : Scratch.t) ~k =
+  Scratch.ensure_sel s ~k;
+  let sel = s.Scratch.sel in
+  let d h = s.Scratch.dist.(h) in
+  let swap i j =
+    let t = sel.(i) in
+    sel.(i) <- sel.(j);
+    sel.(j) <- t
   in
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if d sel.(p) < d sel.(i) then begin
+        swap p i;
+        up p
+      end
+    end
+  in
+  let rec down i n =
+    let l = (2 * i) + 1 in
+    if l < n then begin
+      let c = if l + 1 < n && d sel.(l + 1) > d sel.(l) then l + 1 else l in
+      if d sel.(c) > d sel.(i) then begin
+        swap c i;
+        down c n
+      end
+    end
+  in
+  let m = ref 0 in
+  let cand = s.Scratch.cand in
+  for idx = 0 to s.Scratch.cand_len - 1 do
+    let h = cand.(idx) in
+    if !m < k then begin
+      sel.(!m) <- h;
+      incr m;
+      up (!m - 1)
+    end
+    else if k > 0 && d h < d sel.(0) then begin
+      sel.(0) <- h;
+      down 0 k
+    end
+  done;
+  (* heapsort the survivors: extract the max to the end repeatedly *)
+  for i = !m - 1 downto 1 do
+    swap 0 i;
+    down 0 i
+  done;
+  !m
+
+(* One GETNEXTLIST step over the handles in [s.cur]: collect forward and
+   backward pointers at [level] (handle reads, directory fallback only for
+   entries injected without one), stamp-dedup, memoize distances under
+   [dgen], and leave the k closest in [s.sel] (ascending).  Returns the
+   selection size. *)
+let step net ~(new_node : Node.t) ~level ~update_tables ~k ~dgen =
+  let s = net.Network.scratch in
+  Scratch.ensure_handles s ~n:net.Network.arena_len;
+  let vgen = Scratch.bump_visit s in
+  s.Scratch.cand_len <- 0;
+  let note (n : Node.t) =
+    let h = n.Node.handle in
+    if s.Scratch.stamp.(h) <> vgen then begin
+      s.Scratch.stamp.(h) <- vgen;
+      if
+        Node.is_alive n
+        && (not (Node_id.equal n.Node.id new_node.Node.id))
+        && Node_id.common_prefix_len n.Node.id new_node.Node.id >= level
+      then begin
+        if s.Scratch.dist_stamp.(h) <> dgen then begin
+          s.Scratch.dist.(h) <- Network.dist net new_node n;
+          s.Scratch.dist_stamp.(h) <- dgen
+        end;
+        Scratch.push_cand s h
+      end
+    end
+  in
+  for i = 0 to s.Scratch.cur_len - 1 do
+    let n = Network.node_of_handle net s.Scratch.cur.(i) in
+    (* round trip: ask n for its forward and backward pointers *)
+    Network.charge_aside net new_node n;
+    Network.charge_aside net n new_node;
+    if update_tables then
+      ignore (add_to_table_if_closer net ~contacted:n ~new_node);
+    note n;
+    let table = n.Node.table in
+    for digit = 0 to Routing_table.base table - 1 do
+      for kk = 0 to Routing_table.slot_len table ~level ~digit - 1 do
+        let h = Routing_table.slot_handle table ~level ~digit ~k:kk in
+        if h >= 0 then note (Network.node_of_handle net h)
+        else
+          match
+            Network.find net (Routing_table.slot_id table ~level ~digit ~k:kk)
+          with
+          | Some m -> note m
+          | None -> ()
+      done
+    done;
+    Routing_table.iter_backpointers table ~level (fun id h ->
+        if h >= 0 then note (Network.node_of_handle net h)
+        else match Network.find net id with Some m -> note m | None -> ())
+  done;
+  select_k_closest s ~k
+
+let load_cur (s : Scratch.t) list =
+  let len = List.length list in
+  if len > Array.length s.Scratch.cur then
+    s.Scratch.cur <- Array.make (max len 64) 0;
+  let i = ref 0 in
   List.iter
     (fun (n : Node.t) ->
-      (* round trip: ask n for its forward and backward pointers at [level] *)
-      Network.charge_aside net new_node n;
-      Network.charge_aside net n new_node;
-      if update_tables then
-        ignore (add_to_table_if_closer net ~contacted:n ~new_node);
-      note n;
-      Routing_table.known_at_level n.Node.table ~level
-      |> List.iter (fun id ->
-             match Network.find net id with Some m -> note m | None -> ());
-      Routing_table.backpointers n.Node.table ~level
-      |> List.iter (fun id ->
-             match Network.find net id with Some m -> note m | None -> ()))
+      s.Scratch.cur.(!i) <- n.Node.handle;
+      incr i)
     list;
-  let all = Node_id.Tbl.fold (fun _ n acc -> n :: acc) candidates [] in
-  let keyed =
-    List.map (fun (n : Node.t) -> (Network.dist net new_node n, n)) all
-    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
-  in
-  let rec take i = function
-    | [] -> []
-    | (_, n) :: rest -> if i = 0 then [] else n :: take (i - 1) rest
-  in
-  take k keyed
+  s.Scratch.cur_len <- len
 
-(* Lemma 2: fill table levels >= [level] from a level list. *)
-let build_table_from_list net ~(new_node : Node.t) list =
-  List.iter
-    (fun (m : Node.t) ->
-      ignore (Network.offer_link_all_levels net ~owner:new_node ~candidate:m))
-    list
+let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list
+    ~k =
+  if List.exists (fun (n : Node.t) -> n.Node.handle < 0) list then
+    (* unregistered nodes carry no handle to index the scratch by *)
+    Oracle.get_next_list ~update_tables net ~new_node ~level list ~k
+  else begin
+    let s = net.Network.scratch in
+    Scratch.ensure_handles s ~n:net.Network.arena_len;
+    load_cur s list;
+    let dgen = Scratch.bump_dist s in
+    let m = step net ~new_node ~level ~update_tables ~k ~dgen in
+    let res = ref [] in
+    for i = m - 1 downto 0 do
+      res := Network.node_of_handle net s.Scratch.sel.(i) :: !res
+    done;
+    !res
+  end
 
 (* Deterministic backstop for Property 1: probe every still-empty slot at
    levels up to the surrogate prefix via surrogate routing, which finds a
-   matching node iff one exists (Theorem 2's maximal-prefix property). *)
+   matching node iff one exists (Theorem 2's maximal-prefix property).
+   [Route.fold_path] with a unit accumulator keeps the probe's charges
+   identical to a full walk without materializing the path. *)
 let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
   let cfg = net.Network.config in
   let filled = ref 0 in
@@ -64,8 +318,10 @@ let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
         let target_digits = Node_id.digits new_node.Node.id in
         target_digits.(level) <- digit;
         let target = Node_id.make target_digits in
-        let info = Route.route_to_root net ~from:surrogate target in
-        let root = info.Route.root in
+        let root, (), _ =
+          Route.fold_path net ~from:surrogate target ~init:() ~f:(fun () _ ->
+              `Continue ())
+        in
         if
           (not (Node_id.equal root.Node.id new_node.Node.id))
           && Node_id.common_prefix_len root.Node.id target >= level + 1
@@ -80,76 +336,113 @@ let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
   !filled
 
 (* One complete descent at width [k]; returns the trace pieces and the
-   closest node of the final (level 0) list. *)
+   closest node of the final (level 0) list.  The level list lives in
+   [s.cur] between steps; the distance memo is valid for the whole descent
+   (one [dgen]) because the metric is static and the joiner is fixed. *)
 let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k ~contacted
     ~updated =
-  let list =
-    initial_list
-    |> List.filter (fun (m : Node.t) ->
-           Node.is_alive m && not (Node_id.equal m.Node.id new_node.Node.id))
-    |> List.map (fun (m : Node.t) -> (Network.dist net new_node m, m))
-    |> List.sort (fun (d1, _) (d2, _) -> Float.compare d1 d2)
-    |> List.filteri (fun i _ -> i < k)
-    |> List.map snd
-  in
-  build_table_from_list net ~new_node list;
+  let s = net.Network.scratch in
+  Scratch.ensure_handles s ~n:net.Network.arena_len;
+  let dgen = Scratch.bump_dist s in
+  s.Scratch.cand_len <- 0;
   List.iter
-    (fun m -> if add_to_table_if_closer net ~contacted:m ~new_node then incr updated)
-    list;
+    (fun (m : Node.t) ->
+      if Node.is_alive m && not (Node_id.equal m.Node.id new_node.Node.id)
+      then begin
+        let h = m.Node.handle in
+        if s.Scratch.dist_stamp.(h) <> dgen then begin
+          s.Scratch.dist.(h) <- Network.dist net new_node m;
+          s.Scratch.dist_stamp.(h) <- dgen
+        end;
+        Scratch.push_cand s h
+      end)
+    initial_list;
+  let m0 = select_k_closest s ~k in
+  Scratch.set_cur s s.Scratch.sel m0;
+  for i = 0 to s.Scratch.cur_len - 1 do
+    ignore
+      (Network.offer_link_all_levels net ~owner:new_node
+         ~candidate:(Network.node_of_handle net s.Scratch.cur.(i)))
+  done;
+  for i = 0 to s.Scratch.cur_len - 1 do
+    if
+      add_to_table_if_closer net
+        ~contacted:(Network.node_of_handle net s.Scratch.cur.(i))
+        ~new_node
+    then incr updated
+  done;
   let levels = ref 0 in
-  let current = ref list in
   for level = max_level - 1 downto 0 do
     incr levels;
-    let next = get_next_list net ~new_node ~level !current ~k in
-    contacted := !contacted + List.length !current;
-    List.iter
-      (fun m -> if add_to_table_if_closer net ~contacted:m ~new_node then incr updated)
-      next;
-    build_table_from_list net ~new_node next;
-    current := next
+    let m = step net ~new_node ~level ~update_tables:true ~k ~dgen in
+    contacted := !contacted + s.Scratch.cur_len;
+    for i = 0 to m - 1 do
+      if
+        add_to_table_if_closer net
+          ~contacted:(Network.node_of_handle net s.Scratch.sel.(i))
+          ~new_node
+      then incr updated
+    done;
+    for i = 0 to m - 1 do
+      ignore
+        (Network.offer_link_all_levels net ~owner:new_node
+           ~candidate:(Network.node_of_handle net s.Scratch.sel.(i)))
+    done;
+    Scratch.set_cur s s.Scratch.sel m
   done;
-  (!levels, match !current with m :: _ -> Some m | [] -> None)
+  ( !levels,
+    if s.Scratch.cur_len > 0 then
+      Some (Network.node_of_handle net s.Scratch.cur.(0))
+    else None )
 
 let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
     ~(surrogate : Node.t) ~initial_list =
-  let n = Network.node_count net in
-  let base_k = Config.scaled_k net.Network.config ~n in
-  let max_level = Node_id.common_prefix_len new_node.Node.id surrogate.Node.id in
-  let contacted = ref 0 in
-  let updated = ref 0 in
-  let levels = ref 0 in
-  if not adaptive then begin
-    let l, _ =
-      run_descent net ~new_node ~max_level ~initial_list ~k:base_k ~contacted
-        ~updated
-    in
-    levels := l
-  end
+  if List.exists (fun (n : Node.t) -> n.Node.handle < 0) initial_list then
+    Oracle.acquire_neighbor_table ~adaptive net ~new_node ~surrogate
+      ~initial_list
   else begin
-    (* The dynamic-k variant the paper cites ([14], Section 6.2): start
-       narrow and double the width until the reported nearest neighbor is
-       stable across consecutive widths — robust when the expansion
-       constant is larger than b supports. *)
-    let rec stabilize k prev tries =
-      let l, head =
-        run_descent net ~new_node ~max_level ~initial_list ~k ~contacted ~updated
-      in
-      levels := !levels + l;
-      match (prev, head) with
-      | Some (a : Node.t), Some b when Node_id.equal a.Node.id b.Node.id -> ()
-      | _, head when tries > 0 && 2 * k <= Network.node_count net ->
-          stabilize (2 * k) head (tries - 1)
-      | _ -> ()
+    let n = Network.node_count net in
+    let base_k = Config.scaled_k net.Network.config ~n in
+    let max_level =
+      Node_id.common_prefix_len new_node.Node.id surrogate.Node.id
     in
-    stabilize (max 4 (base_k / 4)) None 5
-  end;
-  let holes = fill_holes net ~new_node ~surrogate ~max_level in
-  {
-    levels_walked = !levels;
-    nodes_contacted = !contacted;
-    tables_updated = !updated;
-    holes_backfilled = holes;
-  }
+    let contacted = ref 0 in
+    let updated = ref 0 in
+    let levels = ref 0 in
+    if not adaptive then begin
+      let l, _ =
+        run_descent net ~new_node ~max_level ~initial_list ~k:base_k ~contacted
+          ~updated
+      in
+      levels := l
+    end
+    else begin
+      (* The dynamic-k variant the paper cites ([14], Section 6.2): start
+         narrow and double the width until the reported nearest neighbor is
+         stable across consecutive widths — robust when the expansion
+         constant is larger than b supports. *)
+      let rec stabilize k prev tries =
+        let l, head =
+          run_descent net ~new_node ~max_level ~initial_list ~k ~contacted
+            ~updated
+        in
+        levels := !levels + l;
+        match (prev, head) with
+        | Some (a : Node.t), Some b when Node_id.equal a.Node.id b.Node.id -> ()
+        | _, head when tries > 0 && 2 * k <= Network.node_count net ->
+            stabilize (2 * k) head (tries - 1)
+        | _ -> ()
+      in
+      stabilize (max 4 (base_k / 4)) None 5
+    end;
+    let holes = fill_holes net ~new_node ~surrogate ~max_level in
+    {
+      levels_walked = !levels;
+      nodes_contacted = !contacted;
+      tables_updated = !updated;
+      holes_backfilled = holes;
+    }
+  end
 
 let nearest_neighbor net ~(from : Node.t) =
   (* Property 2's static solution: the closest entry among the level-0

@@ -13,7 +13,15 @@
     [fill_holes] is the deterministic backstop for the with-high-probability
     guarantee of Lemma 2: any slot left empty is resolved by surrogate
     routing, which either finds a matching node or certifies the hole, so
-    Property 1 holds unconditionally after a join. *)
+    Property 1 holds unconditionally after a join.
+
+    The descent runs on the network's {!Scratch} buffers (DESIGN.md §8.7):
+    candidate sets are deduplicated by generation stamps over arena handles,
+    distances to the joiner are memoized per handle across the whole
+    descent, and the k-closest trim is an in-place bounded heap — no
+    hashtable, no keyed-list sort, no per-level allocation.  The pre-packing
+    list implementation is kept as {!Oracle} and drives the differential
+    insertion suite. *)
 
 type trace = {
   levels_walked : int;  (** list-descent steps executed *)
@@ -49,4 +57,25 @@ val get_next_list :
 (** One descent step ([GetNextList]): from the level-(level+1) list, collect
     forward+backward pointers at [level], let every contacted node consider
     the new node, and keep the [k] closest level-[level] nodes.  Exposed for
-    tests and the E3 experiment. *)
+    tests and the E3 experiment.  Falls back to {!Oracle.get_next_list} when
+    a list element carries no arena handle (unregistered test probes). *)
+
+(** The pre-packing descent (hashtable candidate set, keyed-list sort per
+    trim, [Network.find] per pointer), kept as a reference oracle: the
+    differential insertion suite and the paired microbenchmarks drive both
+    implementations through identical churn and assert identical traces,
+    tables and chosen neighbors. *)
+module Oracle : sig
+  val acquire_neighbor_table :
+    ?adaptive:bool ->
+    Network.t ->
+    new_node:Node.t ->
+    surrogate:Node.t ->
+    initial_list:Node.t list ->
+    trace
+
+  val get_next_list :
+    ?update_tables:bool ->
+    Network.t -> new_node:Node.t -> level:int -> Node.t list -> k:int ->
+    Node.t list
+end

@@ -21,6 +21,7 @@ type t = {
   mutable alive_len : int;
   alive_slot : int Node_id.Tbl.t;
   salts : Node_id.t Salt_tbl.t;
+  scratch : Scratch.t;
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;
   mutable clock : float;
@@ -42,6 +43,7 @@ let create ?(seed = 42) config metric =
     alive_len = 0;
     alive_slot = Node_id.Tbl.create 64;
     salts = Salt_tbl.create 64;
+    scratch = Scratch.create ();
     rng = Simnet.Rng.create seed;
     cost = Simnet.Cost.make ();
     clock = 0.;
@@ -198,8 +200,12 @@ let fresh_id t =
 
 (* --- link maintenance --- *)
 
-let offer_link t ~owner ~level ~candidate =
-  let o = (owner : Node.t) and c = (candidate : Node.t) in
+(* The shared-prefix and liveness gates plus the table update, with the
+   metric distance supplied by the caller so a multi-level batch measures
+   it once (the simulated round trip is one probe however many levels it
+   fills). *)
+let offer_link_dist t ~(owner : Node.t) ~level ~(candidate : Node.t) ~d =
+  let o = owner and c = candidate in
   if Node_id.equal o.id c.id then false
   else if Node_id.common_prefix_len o.id c.id < level then false
   else if
@@ -209,16 +215,17 @@ let offer_link t ~owner ~level ~candidate =
     match c.status with Node.Leaving | Node.Dead -> true | _ -> false
   then false
   else begin
-    let d = dist t o c in
     match
       Routing_table.consider ~handle:c.handle o.table ~level ~candidate:c.id
         ~dist:d
     with
     | `Rejected | `Known -> false
     | `Added evicted ->
-        Routing_table.add_backpointer c.table ~level o.id;
+        Routing_table.add_backpointer c.table ~level ~handle:o.handle o.id;
         (match evicted with
         | Some old_id -> (
+            (* eviction is the rare branch: resolve through the directory,
+               the slot no longer holds the evicted handle *)
             match find t old_id with
             | Some old_node ->
                 Routing_table.remove_backpointer old_node.Node.table ~level o.id
@@ -227,14 +234,21 @@ let offer_link t ~owner ~level ~candidate =
         true
   end
 
+let offer_link t ~owner ~level ~candidate =
+  offer_link_dist t ~owner ~level ~candidate ~d:(dist t owner candidate)
+
 let offer_link_all_levels t ~owner ~candidate =
   let o = (owner : Node.t) and c = (candidate : Node.t) in
   let shared = Node_id.common_prefix_len o.id c.id in
-  let added = ref 0 in
-  for level = 0 to min shared (t.config.id_digits - 1) do
-    if offer_link t ~owner ~level ~candidate then incr added
-  done;
-  !added
+  if Node_id.equal o.id c.id then 0
+  else begin
+    let d = dist t o c in
+    let added = ref 0 in
+    for level = 0 to min shared (t.config.id_digits - 1) do
+      if offer_link_dist t ~owner ~level ~candidate ~d then incr added
+    done;
+    !added
+  end
 
 let drop_link t ~owner ~target =
   let o = (owner : Node.t) in

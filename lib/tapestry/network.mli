@@ -40,6 +40,10 @@ type t = {
       (** memo for {!salted}: [Node_id.salt] allocates a fresh RNG and
           digit array per call, so the redundant-roots publish/locate path
           caches psi_i per [(id, i)] *)
+  scratch : Scratch.t;
+      (** reusable generation-stamped buffers for the insertion hot path
+          (nearest-neighbor descent, acknowledged multicast); see
+          {!Scratch} and DESIGN.md §8.7 *)
   rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;  (** ambient accumulator charged by protocol code *)
   mutable clock : float;  (** virtual time for soft-state expiry *)

@@ -24,7 +24,10 @@ type t = {
       (* per level, bit [digit] set iff that slot is non-empty: digit scans
          in the routing hot path test one bit instead of reading [lens]
          (base <= 32, so a level's mask fits one immediate int) *)
-  backs : unit Node_id.Tbl.t array; (* backpointers per level *)
+  backs : int Node_id.Tbl.t array;
+      (* backpointers per level: holder id -> its arena handle (-1 when the
+         writer had none), so backpointer walks resolve without hashing
+         into the directory *)
 }
 
 let cell t ~level ~digit = (level * t.base) + digit
@@ -262,19 +265,21 @@ let remove t target =
     List.rev !found
   end
 
-let add_backpointer t ~level id =
+let add_backpointer ?(handle = -1) t ~level id =
   if not (Node_id.equal id t.owner) then
-    Node_id.Tbl.replace t.backs.(level) id ()
+    Node_id.Tbl.replace t.backs.(level) id handle
 
 let remove_backpointer t ~level id = Node_id.Tbl.remove t.backs.(level) id
 
 let backpointers t ~level =
-  Node_id.Tbl.fold (fun id () acc -> id :: acc) t.backs.(level) []
+  Node_id.Tbl.fold (fun id _ acc -> id :: acc) t.backs.(level) []
+
+let iter_backpointers t ~level f = Node_id.Tbl.iter f t.backs.(level)
 
 let all_backpointers t =
   let acc = ref [] in
   Array.iteri
-    (fun l tbl -> Node_id.Tbl.iter (fun id () -> acc := (l, id) :: !acc) tbl)
+    (fun l tbl -> Node_id.Tbl.iter (fun id _ -> acc := (l, id) :: !acc) tbl)
     t.backs;
   !acc
 

@@ -85,11 +85,18 @@ val update_distances : t -> measure:(Node_id.t -> float option) -> int
 val remove : t -> Node_id.t -> int list
 (** Remove a node everywhere it appears; returns the levels it was found at. *)
 
-val add_backpointer : t -> level:int -> Node_id.t -> unit
+val add_backpointer : ?handle:int -> t -> level:int -> Node_id.t -> unit
+(** Record that [id] holds the owner in its table at [level].  [handle] is
+    the holder's arena handle when the writer knows it (default [-1]:
+    walks fall back to directory resolution for that holder). *)
 
 val remove_backpointer : t -> level:int -> Node_id.t -> unit
 
 val backpointers : t -> level:int -> Node_id.t list
+
+val iter_backpointers : t -> level:int -> (Node_id.t -> int -> unit) -> unit
+(** Iterate the level's backpointers as [(holder id, holder handle)] with
+    no list allocation; the handle is [-1] when it was never recorded. *)
 
 val all_backpointers : t -> (int * Node_id.t) list
 

@@ -1,0 +1,104 @@
+(* Per-network insertion scratch: reusable flat buffers for the join hot
+   path (the Section 3 nearest-neighbor descent and the Section 4
+   acknowledged multicast).  All marking is generation-stamped so reuse
+   across insertions costs one integer increment instead of clearing or
+   reallocating; every array is indexed by (or holds) arena handles, never
+   IDs, so the hot path does no hashing.  Single-threaded by construction:
+   one scratch per network, and the simulator never yields inside a descent
+   or a multicast (fibers interleave only at insertion stage boundaries). *)
+
+type t = {
+  mutable stamp : int array;
+      (* per-handle visited mark: [stamp.(h) = visit_gen] means handle [h]
+         was seen by the current traversal *)
+  mutable visit_gen : int;
+  mutable dist : float array; (* per-handle memoized distance to the joiner *)
+  mutable dist_stamp : int array; (* validity mark for [dist] *)
+  mutable dist_gen : int;
+  mutable cand : int array; (* candidate handles of one descent step *)
+  mutable cand_len : int;
+  mutable sel : int array; (* bounded selection heap (handles) *)
+  mutable cur : int array; (* the surviving level list, between steps *)
+  mutable cur_len : int;
+  mutable stack : int array; (* multicast DFS: per-frame target segments *)
+  mutable sp : int;
+  mutable reached : int array; (* multicast visit order (handles) *)
+  mutable reached_len : int;
+}
+
+let create () =
+  {
+    stamp = [||];
+    visit_gen = 0;
+    dist = [||];
+    dist_stamp = [||];
+    dist_gen = 0;
+    cand = [||];
+    cand_len = 0;
+    sel = [||];
+    cur = [||];
+    cur_len = 0;
+    stack = [||];
+    sp = 0;
+    reached = [||];
+    reached_len = 0;
+  }
+
+(* Grow the handle-indexed arrays to cover [n] handles.  Fresh cells are
+   stamped 0; generations start at 1 (see [bump_*]), so a grown cell is
+   never spuriously marked. *)
+let ensure_handles t ~n =
+  if n > Array.length t.stamp then begin
+    let cap = max n (max 64 (2 * Array.length t.stamp)) in
+    let grow_int a = let b = Array.make cap 0 in Array.blit a 0 b 0 (Array.length a); b in
+    let grow_float a = let b = Array.make cap 0. in Array.blit a 0 b 0 (Array.length a); b in
+    t.stamp <- grow_int t.stamp;
+    t.dist_stamp <- grow_int t.dist_stamp;
+    t.dist <- grow_float t.dist
+  end
+
+let ensure_sel t ~k =
+  if k > Array.length t.sel then t.sel <- Array.make (max k (max 16 (2 * Array.length t.sel))) 0
+
+let bump_visit t =
+  t.visit_gen <- t.visit_gen + 1;
+  t.visit_gen
+
+let bump_dist t =
+  t.dist_gen <- t.dist_gen + 1;
+  t.dist_gen
+
+let push_grow arr len x =
+  let a = !arr in
+  if !len = Array.length a then begin
+    let cap = max 64 (2 * Array.length a) in
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 !len;
+    arr := b
+  end;
+  !arr.(!len) <- x;
+  incr len
+
+let push_cand t h =
+  let arr = ref t.cand and len = ref t.cand_len in
+  push_grow arr len h;
+  t.cand <- !arr;
+  t.cand_len <- !len
+
+let push_stack t h =
+  let arr = ref t.stack and len = ref t.sp in
+  push_grow arr len h;
+  t.stack <- !arr;
+  t.sp <- !len
+
+let push_reached t h =
+  let arr = ref t.reached and len = ref t.reached_len in
+  push_grow arr len h;
+  t.reached <- !arr;
+  t.reached_len <- !len
+
+(* Save the selected handles as the current level list. *)
+let set_cur t src len =
+  if len > Array.length t.cur then t.cur <- Array.make (max len 64) 0;
+  Array.blit src 0 t.cur 0 len;
+  t.cur_len <- len

@@ -154,6 +154,58 @@ let test_sequentialized_equals_concurrent_p1 () =
   Alcotest.(check int) "same population" (Network.node_count net_seq)
     (Network.node_count net_con)
 
+let test_interleaved_cost_attribution () =
+  (* Each stage of a staged insertion accumulates only its own charges
+     (Insert runs every stage under Network.measure), so two inserts whose
+     stages interleave on the scheduler must report costs that partition the
+     network's total exactly — in particular, the multicast acknowledgments
+     charged as each tree edge unwinds land in the insertion that sent them,
+     not in whichever insertion happened to snapshot last.  Messages and
+     hops are pinned: they are deterministic at this seed, and under the old
+     begin/end snapshot accounting the first report absorbed the second
+     insertion's interleaved charges and these numbers shifted. *)
+  let net, _ = build ~n:60 ~seed:81 () in
+  let sched = Simnet.Fiber.create () in
+  let reports = ref [] in
+  let spawn ~addr ~delays =
+    let d0, d1, d2 = delays in
+    Simnet.Fiber.spawn sched (fun () ->
+        Simnet.Fiber.sleep sched d0;
+        let gw = Network.random_alive net in
+        let staged = Insert.stage_surrogate net ~gateway:gw ~addr in
+        Simnet.Fiber.sleep sched d1;
+        Insert.stage_multicast net staged;
+        Simnet.Fiber.sleep sched d2;
+        reports := Insert.stage_acquire net staged :: !reports)
+  in
+  let before = Simnet.Cost.snapshot net.Network.cost in
+  spawn ~addr:60 ~delays:(0.0, 0.2, 0.5);
+  spawn ~addr:61 ~delays:(0.1, 0.3, 0.4);
+  Simnet.Fiber.run sched;
+  Alcotest.(check int) "no stalls" 0 (Simnet.Fiber.stalled_fibers sched);
+  let total = Simnet.Cost.diff (Simnet.Cost.snapshot net.Network.cost) before in
+  match List.rev !reports with
+  | [ r1; r2 ] ->
+      let c1 = r1.Insert.cost and c2 = r2.Insert.cost in
+      Alcotest.(check int)
+        "reports partition total messages" total.Simnet.Cost.messages
+        (c1.Simnet.Cost.messages + c2.Simnet.Cost.messages);
+      Alcotest.(check int)
+        "reports partition total hops" total.Simnet.Cost.hops
+        (c1.Simnet.Cost.hops + c2.Simnet.Cost.hops);
+      let lat_sum = c1.Simnet.Cost.latency +. c2.Simnet.Cost.latency in
+      Alcotest.(check bool)
+        "reports partition total latency" true
+        (Float.abs (lat_sum -. total.Simnet.Cost.latency)
+        <= 1e-9 *. Float.max 1. total.Simnet.Cost.latency);
+      Alcotest.(check (pair int int))
+        "first insertion cost pinned" (52, 30)
+        (c1.Simnet.Cost.messages, c1.Simnet.Cost.hops);
+      Alcotest.(check (pair int int))
+        "second insertion cost pinned" (25, 13)
+        (c2.Simnet.Cost.messages, c2.Simnet.Cost.hops)
+  | rs -> Alcotest.failf "expected 2 reports, got %d" (List.length rs)
+
 let () =
   Alcotest.run "concurrent"
     [
@@ -163,6 +215,8 @@ let () =
           Alcotest.test_case "same-hole collision (Thm 6 case 3)" `Quick test_same_hole_collision;
           Alcotest.test_case "seq vs concurrent invariants" `Quick
             test_sequentialized_equals_concurrent_p1;
+          Alcotest.test_case "interleaved cost attribution" `Quick
+            test_interleaved_cost_attribution;
         ] );
       ( "availability",
         [

@@ -51,6 +51,34 @@ let test_ambient_sources () =
   Alcotest.(check (list string)) "exempt module may use ambient sources" []
     (rules_of ~determinism_exempt:true "let f () = Random.int 10 + int_of_float (Sys.time ())")
 
+let test_hot_path_alloc () =
+  let rules_hot src =
+    Lint_core.lint_string ~file:"lib/tapestry/route.ml" ~hot_path:true src
+    |> List.map (fun v -> v.Lint_core.rule)
+  in
+  Alcotest.(check (list string)) "List.sort on a hot-path file"
+    [ "hot-path-alloc" ]
+    (rules_hot "let f xs = List.sort Int.compare xs");
+  Alcotest.(check (list string)) "List.map on a hot-path file"
+    [ "hot-path-alloc" ]
+    (rules_hot "let f xs = List.map succ xs");
+  Alcotest.(check (list string)) "List.iter stays fine" []
+    (rules_hot "let f xs = List.iter ignore xs");
+  check_rules "off-hot-path file unaffected" []
+    "let f xs = List.sort Int.compare xs |> List.map succ";
+  Alcotest.(check (list string)) "Oracle submodule exempt" []
+    (rules_hot
+       "module Oracle = struct\n  let f xs = List.sort Int.compare xs\nend");
+  (* only the allocation rule is suspended inside Oracle *)
+  Alcotest.(check (list string)) "other rules still fire inside Oracle"
+    [ "poly-compare" ]
+    (rules_hot "module Oracle = struct\n  let f xs = List.sort compare xs\nend");
+  Alcotest.(check (list string)) "rule resumes after the Oracle ends"
+    [ "hot-path-alloc" ]
+    (rules_hot
+       "module Oracle = struct\n  let f xs = List.map succ xs\nend\n\
+        let g xs = List.map succ xs")
+
 let test_parse_error () =
   check_rules "unparsable file" [ "parse-error" ] "let f = ("
 
@@ -115,6 +143,7 @@ let () =
           Alcotest.test_case "poly-eq functions" `Quick test_poly_eq_functions;
           Alcotest.test_case "eq-empty-list" `Quick test_eq_empty_list;
           Alcotest.test_case "ambient rng/time" `Quick test_ambient_sources;
+          Alcotest.test_case "hot-path alloc" `Quick test_hot_path_alloc;
           Alcotest.test_case "parse error" `Quick test_parse_error;
         ] );
       ( "infrastructure",

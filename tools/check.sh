@@ -13,7 +13,10 @@ dune build @bench-smoke
 
 # Advisory perf diff vs the committed baseline: a short bench run is far
 # too noisy to gate on, so regressions are reported but never fail the
-# check.
+# check.  The baseline covers the routing/location ops and the insertion
+# hot path (insert, acquire_neighbor_table, multicast with and without a
+# watchlist) next to their list-based oracle pairs, so a slowdown in the
+# packed pipeline shows up here as the packed/oracle gap closing.
 if [ -f BENCH_baseline.json ]; then
   tmp_bench=$(mktemp /tmp/bench_current.XXXXXX.json)
   dune exec bench/main.exe -- --no-tables --quota 0.25 --json "$tmp_bench" \

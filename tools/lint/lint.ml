@@ -12,6 +12,14 @@ let usage = "lint [--allowlist FILE] PATH..."
    must draw from it so that equal seeds replay equal runs. *)
 let determinism_exempt file = Filename.check_suffix file "lib/simnet/rng.ml"
 
+(* The per-message inner loops (DESIGN.md "hot paths"): routing, object
+   location, and the insertion pipeline.  These carry the hot-path-alloc
+   rule; their [Oracle] submodules are exempt. *)
+let hot_path file =
+  List.exists
+    (fun m -> Filename.check_suffix file ("lib/tapestry/" ^ m ^ ".ml"))
+    [ "route"; "locate"; "nearest_neighbor"; "multicast" ]
+
 let rec walk path acc =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort String.compare
@@ -55,6 +63,7 @@ let () =
       (fun file ->
         Lint_core.lint_string ~file
           ~determinism_exempt:(determinism_exempt file)
+          ~hot_path:(hot_path file)
           (read_file file))
       mls
   in

@@ -22,6 +22,13 @@
    - missing-mli: every lib/ module must have an interface so that its
      abstract types stay abstract (otherwise polymorphic equality on them
      typechecks everywhere).
+   - hot-path-alloc: on designated hot-path files (the routing, location
+     and insertion inner loops) [List.sort] and [List.map] allocate a
+     fresh list per call and [List.sort] boxes a closure per comparison;
+     the packed table/scratch primitives exist precisely to avoid that.
+     [module Oracle = struct ... end] submodules are exempt — they keep
+     the original list-based implementations as differential-test
+     references and are never on the hot path.
 
    The checks are syntactic approximations: a file that defines its own
    top-level [compare]/[equal] may refer to them unqualified, so such
@@ -42,6 +49,7 @@ let rule_ids =
     "eq-empty-list";
     "ambient-rng";
     "ambient-time";
+    "hot-path-alloc";
     "missing-mli";
     "parse-error";
   ]
@@ -127,8 +135,9 @@ let collect_toplevel_defs structure =
   iter.structure iter structure;
   defined
 
-let lint_structure ~file ~determinism_exempt structure =
+let lint_structure ~file ~determinism_exempt ~hot_path structure =
   let violations = ref [] in
+  let in_oracle = ref false in
   let defined = collect_toplevel_defs structure in
   let add ~loc rule message =
     let pos = loc.Location.loc_start in
@@ -159,6 +168,12 @@ let lint_structure ~file ~determinism_exempt structure =
           (Printf.sprintf
              "List.%s uses polymorphic equality; use List.exists/List.find_opt \
               with an explicit equal"
+             f)
+    | [ "List"; (("sort" | "map") as f) ] when hot_path && not !in_oracle ->
+        add ~loc "hot-path-alloc"
+          (Printf.sprintf
+             "List.%s allocates on a hot-path file; use the packed \
+              table/scratch primitives (Oracle submodules are exempt)"
              f)
     | [ "Hashtbl"; f ] when is_hashtbl_hash f ->
         add ~loc "poly-eq-fn"
@@ -208,15 +223,27 @@ let lint_structure ~file ~determinism_exempt structure =
         check_ident ~loc:e.pexp_loc (flatten_lid txt)
     | _ -> default_iterator.expr iter e
   in
-  let iter = { default_iterator with expr } in
+  (* Oracle submodules keep the list-based reference implementations for
+     differential tests; only the allocation rule is suspended inside them
+     — every other rule still applies. *)
+  let module_binding iter (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | Some "Oracle" when hot_path ->
+        let saved = !in_oracle in
+        in_oracle := true;
+        default_iterator.module_binding iter mb;
+        in_oracle := saved
+    | _ -> default_iterator.module_binding iter mb
+  in
+  let iter = { default_iterator with expr; module_binding } in
   iter.structure iter structure;
   List.rev !violations
 
-let lint_string ~file ?(determinism_exempt = false) content =
+let lint_string ~file ?(determinism_exempt = false) ?(hot_path = false) content =
   let lexbuf = Lexing.from_string content in
   Lexing.set_filename lexbuf file;
   match Parse.implementation lexbuf with
-  | structure -> lint_structure ~file ~determinism_exempt structure
+  | structure -> lint_structure ~file ~determinism_exempt ~hot_path structure
   | exception exn ->
       let line =
         match exn with

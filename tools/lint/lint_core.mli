@@ -10,6 +10,10 @@
     - [ambient-rng] / [ambient-time]: [Stdlib.Random], [Unix.gettimeofday],
       [Unix.time], [Sys.time] outside the sanctioned RNG module
       (deterministic replay, Section 4.4 / Theorem 6);
+    - [hot-path-alloc]: [List.sort]/[List.map] on designated hot-path
+      files (routing, location and insertion inner loops); [Oracle]
+      submodules — the list-based differential-test references — are
+      exempt;
     - [missing-mli]: a library module without an interface;
     - [parse-error]: the file does not parse.
 
@@ -37,10 +41,15 @@ val parse_allowlist : string -> allowlist
 val allowed : allowlist -> violation -> bool
 
 val lint_string :
-  file:string -> ?determinism_exempt:bool -> string -> violation list
+  file:string ->
+  ?determinism_exempt:bool ->
+  ?hot_path:bool ->
+  string ->
+  violation list
 (** Parse [content] as an implementation and run the expression rules.
     [determinism_exempt] disables [ambient-rng]/[ambient-time] (used for
-    the sanctioned RNG module). *)
+    the sanctioned RNG module); [hot_path] enables [hot-path-alloc]
+    (used for the routing/location/insertion inner-loop files). *)
 
 val missing_mlis : mls:string list -> mlis:string list -> violation list
 (** [missing-mli] violations for every path in [mls] without a matching
