@@ -18,20 +18,23 @@
    `dune exec bench/main.exe -- --only table1,stretch` to select tables;
    `--no-micro` / `--no-tables` skip one half;
    `--domains D` spreads parallelizable tables over D cores (same output);
+   `--large` adds the n=4096 routing pair (slow mesh build, opt-in);
    `--json FILE` also writes machine-readable results;
    `--check-json FILE` parses a previously written FILE and exits. *)
 
 open Tapestry
 
 let usage =
-  "main.exe [--full] [--seed N] [--only a,b,c] [--no-micro] [--no-tables]\n\
-  \        [--domains D] [--quota SECONDS] [--json FILE] [--check-json FILE]"
+  "main.exe [--full] [--large] [--seed N] [--only a,b,c] [--no-micro]\n\
+  \        [--no-tables] [--domains D] [--quota SECONDS] [--json FILE]\n\
+  \        [--check-json FILE]"
 
 type options = {
   mutable mode : Evaluation.Experiment.mode;
   mutable seed : int;
   mutable only : string list;
   mutable micro : bool;
+  mutable large : bool;
   mutable tables : bool;
   mutable domains : int;
   mutable quota : float;
@@ -46,6 +49,7 @@ let parse_args () =
       seed = 42;
       only = [];
       micro = true;
+      large = false;
       tables = true;
       domains = 1;
       quota = 0.25;
@@ -57,6 +61,9 @@ let parse_args () =
     | [] -> ()
     | "--full" :: rest ->
         o.mode <- Evaluation.Experiment.Full;
+        go rest
+    | "--large" :: rest ->
+        o.large <- true;
         go rest
     | "--seed" :: v :: rest ->
         o.seed <- int_of_string v;
@@ -409,9 +416,109 @@ let micro_tests seed =
     insert256_oracle_test; acquire_test; acquire_oracle_test; chord_test;
   ]
 
-let run_micro ~quota seed =
+(* Larger-n routing pair (`--large`, EXPERIMENTS.md B1): same
+   packed-vs-list-oracle comparison as above but on an n=4096 mesh, where
+   routing tables are denser and walks are longer — the regime where the
+   packed layout's cache behaviour should dominate the list-and-hashtable
+   oracle.  Opt-in because building the mesh takes tens of seconds; the
+   check.sh bench gate never runs it. *)
+let large_route_tests seed =
   let open Bechamel in
-  let tests = micro_tests seed in
+  let n = 4096 in
+  let rng = Simnet.Rng.create seed in
+  let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
+  let addrs = List.init n (fun i -> i) in
+  let net, _ =
+    Insert.build_incremental ~seed:(seed + 1) Config.default metric ~addrs
+  in
+  let cfg = net.Network.config in
+  let guids =
+    Array.init 64 (fun _ ->
+        let server = Network.random_alive net in
+        let guid =
+          Node_id.random ~base:cfg.Config.base ~len:cfg.Config.id_digits
+            net.Network.rng
+        in
+        ignore (Publish.publish net ~server guid);
+        guid)
+  in
+  let i = ref 0 in
+  let next_guid () =
+    incr i;
+    guids.(!i mod Array.length guids)
+  in
+  let oracle_tables = Node_id.Tbl.create n in
+  List.iter
+    (fun (nd : Node.t) ->
+      let table = nd.Node.table in
+      let o = Routing_table.Oracle.create cfg ~owner:nd.Node.id in
+      for level = 0 to Routing_table.levels table - 1 do
+        for digit = 0 to cfg.Config.base - 1 do
+          for k = 0 to Routing_table.slot_len table ~level ~digit - 1 do
+            let id = Routing_table.slot_id table ~level ~digit ~k in
+            if not (Node_id.equal id nd.Node.id) then
+              ignore
+                (Routing_table.Oracle.consider o ~level ~candidate:id
+                   ~dist:(Routing_table.slot_dist table ~level ~digit ~k))
+          done
+        done
+      done;
+      Node_id.Tbl.replace oracle_tables nd.Node.id o)
+    (Network.alive_nodes net);
+  let oracle_first_alive o ~level ~digit =
+    let rec first = function
+      | [] -> None
+      | (e : Routing_table.Oracle.entry) :: rest -> (
+          match Network.find net e.Routing_table.Oracle.id with
+          | Some nd when Node.is_alive nd -> Some nd
+          | _ -> first rest)
+    in
+    first (Routing_table.Oracle.slot o ~level ~digit)
+  in
+  let oracle_walk ~from guid =
+    let digits = cfg.Config.id_digits and base = cfg.Config.base in
+    let rec walk (node : Node.t) level =
+      if level >= digits then node
+      else begin
+        let o = Node_id.Tbl.find oracle_tables node.Node.id in
+        let want = Node_id.digit guid level in
+        let rec scan tries =
+          if tries = base then None
+          else
+            match
+              oracle_first_alive o ~level ~digit:((want + tries) mod base)
+            with
+            | Some nd -> Some nd
+            | None -> scan (tries + 1)
+        in
+        match scan 0 with
+        | None -> node
+        | Some next ->
+            if Node_id.equal next.Node.id node.Node.id then walk node (level + 1)
+            else begin
+              Network.charge net node next;
+              walk next (level + 1)
+            end
+      end
+    in
+    walk from 0
+  in
+  [
+    Test.make ~name:"route_to_root (n=4096)"
+      (Staged.stage (fun () ->
+           let from = Network.random_alive net in
+           ignore (Route.route_to_root net ~from (next_guid ()))));
+    Test.make ~name:"route_to_root list-oracle (n=4096)"
+      (Staged.stage (fun () ->
+           let from = Network.random_alive net in
+           ignore (oracle_walk ~from (next_guid ()))));
+  ]
+
+let run_micro ~quota ~large seed =
+  let open Bechamel in
+  let tests =
+    micro_tests seed @ (if large then large_route_tests seed else [])
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -536,5 +643,7 @@ let () =
   | Some file -> check_json file
   | None ->
       let tables = if o.tables then run_tables o else [] in
-      let micro = if o.micro then run_micro ~quota:o.quota o.seed else [] in
+      let micro =
+        if o.micro then run_micro ~quota:o.quota ~large:o.large o.seed else []
+      in
       Option.iter (emit_json o ~micro ~tables) o.json

@@ -80,7 +80,7 @@ let table1 ?(seed = 42) ?(domains = 1) mode =
               Network.measure net (fun () ->
                   Locate.locate net ~client:q.client q.obj.guid)
             in
-            if res.Locate.server <> None then Some (float_of_int cost.Cost.hops)
+            if Option.is_some res.Locate.server then Some (float_of_int cost.Cost.hops)
             else None)
           queries
         |> Stats.mean
@@ -286,7 +286,7 @@ let stretch ?(seed = 42) mode =
                 let before = Cost.snapshot (Baselines.Chord.cost ch) in
                 let res = Baselines.Chord.locate ch ~from ~guid_key:(chord_key_of q.obj) in
                 let d = Cost.diff (Cost.snapshot (Baselines.Chord.cost ch)) before in
-                if res <> None && opt > 1e-12 then Some (d.Cost.latency /. opt)
+                if Option.is_some res && opt > 1e-12 then Some (d.Cost.latency /. opt)
                 else None)
           queries
         |> Stats.mean
@@ -301,7 +301,7 @@ let stretch ?(seed = 42) mode =
                 let before = Cost.snapshot (Baselines.Pastry.cost pa) in
                 let res = Baselines.Pastry.locate pa ~from q.obj.Workload.guid in
                 let d = Cost.diff (Cost.snapshot (Baselines.Pastry.cost pa)) before in
-                if res <> None && opt > 1e-12 then Some (d.Cost.latency /. opt)
+                if Option.is_some res && opt > 1e-12 then Some (d.Cost.latency /. opt)
                 else None)
           queries
         |> Stats.mean
@@ -318,7 +318,7 @@ let stretch ?(seed = 42) mode =
             let d =
               Cost.diff (Cost.snapshot (Baselines.Central_directory.cost dir)) before
             in
-            if res <> None && opt > 1e-12 then Some (d.Cost.latency /. opt) else None)
+            if Option.is_some res && opt > 1e-12 then Some (d.Cost.latency /. opt) else None)
           queries
         |> Stats.mean
       in
@@ -583,7 +583,7 @@ let surrogate ?(seed = 42) mode =
         if List.for_all (Node_id.equal first) roots then begin
           incr unique;
           if
-            variant = Route.Native
+            Route.equal_variant variant Route.Native
             && Node_id.equal first (Network.surrogate_oracle net guid).Node.id
           then incr oracle_ok
         end
@@ -592,7 +592,8 @@ let surrogate ?(seed = 42) mode =
       Stats.Table.add_row t
         [ name;
           Printf.sprintf "%d/%d" !unique guids;
-          (if variant = Route.Native then Printf.sprintf "%d/%d" !oracle_ok guids
+          (if Route.equal_variant variant Route.Native then
+             Printf.sprintf "%d/%d" !oracle_ok guids
            else "n/a");
           f s.Stats.mean; f s.Stats.p99 ])
     [ ("native", Route.Native); ("prr-like", Route.Prr_like) ];
@@ -680,7 +681,7 @@ let availability ?(seed = 42) mode =
           let res =
             Locate.locate ~variant:Route.Native net ~client guid
           in
-          if res.Locate.server <> None then incr ok
+          if Option.is_some res.Locate.server then incr ok
         done;
         Maintenance.tick net ~dt:10.)
       events;
@@ -904,7 +905,7 @@ let stub_locality ?(seed = 42) mode =
           (fun client ->
             incr total;
             let res, cost = Network.measure net (fun () -> locate_fn ~client guid) in
-            if (res : Locate.result).Locate.server <> None then begin
+            if Option.is_some (res : Locate.result).Locate.server then begin
               lats := cost.Cost.latency :: !lats;
               (* did the walk leave the stub? *)
               let left =
@@ -1368,7 +1369,7 @@ let async_recovery ?(seed = 42) mode =
                 Locate.locate
                   ~variant:Route.Native net ~client guid
               in
-              if res.Locate.server <> None then hits.(b) <- hits.(b) + 1
+              if Option.is_some res.Locate.server then hits.(b) <- hits.(b) + 1
             done)
       done);
   Simnet.Fiber.run sched;

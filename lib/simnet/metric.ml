@@ -156,7 +156,7 @@ let desc m = m.desc
 
 let dist m i j = m.dist i j
 
-let indexed m = m.spatial <> None
+let indexed m = Option.is_some m.spatial
 
 (* --- brute-force oracles (also the fallback for non-point metrics) --- *)
 

@@ -74,8 +74,9 @@ let on_dead_repair net ~owner ~dead =
 let fail net node = Network.mark_dead net node
 
 let voluntary net (node : Node.t) =
-  if node.Node.status <> Node.Active then
-    invalid_arg "Delete.voluntary: node is not active";
+  (match node.Node.status with
+  | Node.Active -> ()
+  | _ -> invalid_arg "Delete.voluntary: node is not active");
   Network.begin_leaving net node;
   let cfg = net.Network.config in
   (* The data leaves with the node: withdraw its replicas first. *)
@@ -132,7 +133,7 @@ let voluntary net (node : Node.t) =
            Network.salted net r.Pointer_store.guid
              r.Pointer_store.root_idx
          in
-         let is_root = Route.peek_first_hop net node salted = None in
+         let is_root = Option.is_none (Route.peek_first_hop net node salted) in
          if is_root then begin
            incr rerooted;
            let expires = net.Network.clock +. cfg.Config.pointer_ttl in

@@ -81,7 +81,7 @@ let digits_after t ~prefix ~len =
   | Some n ->
       let acc = ref [] in
       for d = t.base - 1 downto 0 do
-        if n.children.(d) <> None then acc := d :: !acc
+        if Option.is_some n.children.(d) then acc := d :: !acc
       done;
       !acc
 
@@ -103,4 +103,4 @@ let count_with_prefix t ~prefix ~len =
 let exists_extension t ~prefix ~len ~digit =
   match find_prefix t ~prefix ~len with
   | None -> false
-  | Some n -> n.children.(digit) <> None
+  | Some n -> Option.is_some n.children.(digit)

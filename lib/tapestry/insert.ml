@@ -64,8 +64,12 @@ let link_and_xfer_root net ~(new_node : Node.t) ~staged (x : Node.t) =
       + Maintenance.optimize_through net ~node:x ~next_hop:new_node.Node.id
   end
 
-let stage_surrogate_with ~copy_prelim ?id ?(adaptive = false) net ~gateway
-    ~addr =
+(* [@alloc_ok] on the staging pipeline below: an insertion allocates its
+   [staged] record, the per-stage measurement thunks, the watch list and
+   the final report — all once per join; the traffic they drive runs on
+   the allocation-checked route/multicast/nearest-neighbor paths. *)
+let[@alloc_ok] stage_surrogate_with ~copy_prelim ?id ?(adaptive = false) net
+    ~gateway ~addr =
   let cfg = net.Network.config in
   if not (Node.is_alive gateway) then
     invalid_arg "Insert.stage_surrogate: dead gateway";
@@ -89,7 +93,7 @@ let stage_surrogate_with ~copy_prelim ?id ?(adaptive = false) net ~gateway
   Simnet.Cost.add acc cost;
   { new_node; surrogate; shared; acc; adaptive; reached = []; transferred = 0 }
 
-let stage_multicast_with ~run_multicast net staged =
+let[@alloc_ok] stage_multicast_with ~run_multicast net staged =
   let cfg = net.Network.config in
   let { new_node; surrogate; shared; _ } = staged in
   (* 3. Acknowledged multicast over alpha with LinkAndXferRoot and the
@@ -113,7 +117,7 @@ let stage_multicast_with ~run_multicast net staged =
   Simnet.Cost.add staged.acc cost;
   staged.reached <- mcast.Multicast.reached
 
-let stage_acquire_with ~acquire net staged =
+let[@alloc_ok] stage_acquire_with ~acquire net staged =
   let { new_node; surrogate; shared; acc; adaptive; reached; _ } = staged in
   (* 4. Optimize the table with the nearest-neighbor descent, seeded by the
      multicast's alpha list. *)
@@ -137,14 +141,14 @@ let stage_surrogate ?id ?adaptive net ~gateway ~addr =
   stage_surrogate_with ~copy_prelim:copy_preliminary_table ?id ?adaptive net
     ~gateway ~addr
 
-let stage_multicast net staged =
+let[@alloc_ok] stage_multicast net staged =
   stage_multicast_with
     ~run_multicast:(fun ~on_watch_hit ~watchlist net ~start ~prefix ~len
                         ~apply ->
       Multicast.run ~on_watch_hit ~watchlist net ~start ~prefix ~len ~apply)
     net staged
 
-let stage_acquire net staged =
+let[@alloc_ok] stage_acquire net staged =
   stage_acquire_with
     ~acquire:(fun ~adaptive net ~new_node ~surrogate ~initial_list ->
       Nearest_neighbor.acquire_neighbor_table ~adaptive net ~new_node
@@ -156,7 +160,8 @@ let insert ?id ?adaptive net ~gateway ~addr =
   stage_multicast net staged;
   stage_acquire net staged
 
-let build_incremental ?seed cfg metric ~addrs =
+(* [@alloc_ok]: network construction; allocates the report list. *)
+let[@alloc_ok] build_incremental ?seed cfg metric ~addrs =
   let net = Network.create ?seed cfg metric in
   match addrs with
   | [] -> (net, [])

@@ -17,7 +17,9 @@ let usable net guid (r : Pointer_store.record) =
 (* One pass over the stop node's records: filter for usability and keep the
    closest server, first-seen winning distance ties (the same order the
    filter-then-fold pair produced). *)
-let closest_usable_server net (node : Node.t) guid =
+(* [@alloc_ok]: one fold closure and a best-so-far pair per stop node —
+   this runs once per query, after the walk has stopped. *)
+let[@alloc_ok] closest_usable_server net (node : Node.t) guid =
   List.fold_left
     (fun acc (r : Pointer_store.record) ->
       if r.expires < net.Network.clock then acc
@@ -36,7 +38,9 @@ let closest_usable_server net (node : Node.t) guid =
 (* The walk only needs to know whether a usable pointer exists at each hop;
    records are examined once, at the stop node.  The usability predicate is
    built once per walk, not per hop. *)
-let walk_toward_root ?variant ?exclude net ~from salted guid =
+(* [@alloc_ok]: the usability predicate and the fold callback are built
+   once per walk (documented above), and the path list is the result. *)
+let[@alloc_ok] walk_toward_root ?variant ?exclude net ~from salted guid =
   let pred = usable net guid in
   Route.fold_path ?variant ?exclude net ~from salted ~init:[]
     ~f:(fun path node ->
@@ -45,7 +49,10 @@ let walk_toward_root ?variant ?exclude net ~from salted guid =
         `Stop path
       else `Continue path)
 
-let rec locate ?variant ?root_idx net ~client guid =
+(* [@alloc_ok]: a query allocates its result record, the walk/retry
+   bookkeeping and the root-set retry list — per locate call; the hop
+   work underneath is [Route.fold_path]'s checked path. *)
+let[@alloc_ok] rec locate ?variant ?root_idx net ~client guid =
   let cfg = net.Network.config in
   let chosen, retries =
     match root_idx with
@@ -142,4 +149,4 @@ let rec locate ?variant ?root_idx net ~client guid =
           { server = None; pointer_node = None; walk = List.rev rev_path; redirects = 0 }
   end
 
-let exists net ~client guid = (locate net ~client guid).server <> None
+let exists net ~client guid = Option.is_some (locate net ~client guid).server

@@ -4,7 +4,10 @@ type result = { reached : Node.t list; tree_edges : int }
    holes it can certify filled and report the filler.  Fillers resolve
    through the arena handle stored next to the entry; only entries injected
    without one fall back to the directory. *)
-let check_watchlist net watchlist on_watch_hit (node : Node.t) =
+(* [@alloc_ok]: the iteration closures here are built per visited node
+   but only when a watch list is present (insertions), and the watch
+   list itself is O(prefix * base) — join-time, not per-message. *)
+let[@alloc_ok] check_watchlist net watchlist on_watch_hit (node : Node.t) =
   match (watchlist, on_watch_hit) with
   | Some wl, Some hit ->
       Array.iteri
@@ -57,8 +60,13 @@ let ntz x = ntz_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
    bit test.  The acknowledgment for each tree edge is charged as that
    edge's subtree completes (Theorem 5's accounting, attributed where the
    ack actually flows), so cost snapshots taken between interleaved staged
-   insertions see every ack inside the insertion that caused it. *)
-let run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
+   insertions see every ack inside the insertion that caused it.
+
+   [@alloc_ok]: one multicast allocates the prefix buffer, the [descend]/
+   [edge] closures, per-frame scan cells and the reached list it returns —
+   all per multicast invocation (a join-time operation); the per-node
+   digit scan itself runs on the shared scratch. *)
+let[@alloc_ok] run ?on_watch_hit ?watchlist net ~start ~prefix ~len ~apply =
   if not (Node_id.has_prefix (start : Node.t).Node.id ~prefix ~len) then
     invalid_arg "Multicast.run: start node lacks the prefix";
   let cfg = net.Network.config in

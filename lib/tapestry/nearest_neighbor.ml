@@ -171,52 +171,55 @@ end
    them in ascending distance order in [s.sel]; returns how many.  Bounded
    max-heap: the root is the worst of the current best-k, so a beaten
    candidate costs one comparison and a winner one sift. *)
+let heap_swap (sel : int array) i j =
+  let t = sel.(i) in
+  sel.(i) <- sel.(j);
+  sel.(j) <- t
+
+let rec heap_up (dist : float array) sel i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if dist.(sel.(p)) < dist.(sel.(i)) then begin
+      heap_swap sel p i;
+      heap_up dist sel p
+    end
+  end
+
+let rec heap_down (dist : float array) sel i n =
+  let l = (2 * i) + 1 in
+  if l < n then begin
+    let c =
+      if l + 1 < n && dist.(sel.(l + 1)) > dist.(sel.(l)) then l + 1 else l
+    in
+    if dist.(sel.(c)) > dist.(sel.(i)) then begin
+      heap_swap sel c i;
+      heap_down dist sel c n
+    end
+  end
+
 let select_k_closest (s : Scratch.t) ~k =
   Scratch.ensure_sel s ~k;
   let sel = s.Scratch.sel in
-  let d h = s.Scratch.dist.(h) in
-  let swap i j =
-    let t = sel.(i) in
-    sel.(i) <- sel.(j);
-    sel.(j) <- t
-  in
-  let rec up i =
-    if i > 0 then begin
-      let p = (i - 1) / 2 in
-      if d sel.(p) < d sel.(i) then begin
-        swap p i;
-        up p
-      end
-    end
-  in
-  let rec down i n =
-    let l = (2 * i) + 1 in
-    if l < n then begin
-      let c = if l + 1 < n && d sel.(l + 1) > d sel.(l) then l + 1 else l in
-      if d sel.(c) > d sel.(i) then begin
-        swap c i;
-        down c n
-      end
-    end
-  in
-  let m = ref 0 in
+  let dist = s.Scratch.dist in
+  (* [@alloc_ok]: one counter cell per selection call *)
+  let[@alloc_ok] m = ref 0 in
   let cand = s.Scratch.cand in
   for idx = 0 to s.Scratch.cand_len - 1 do
     let h = cand.(idx) in
     if !m < k then begin
       sel.(!m) <- h;
       incr m;
-      up (!m - 1)
+      heap_up dist sel (!m - 1)
     end
-    else if k > 0 && d h < d sel.(0) then begin
+    else if k > 0 && dist.(h) < dist.(sel.(0)) then begin
       sel.(0) <- h;
-      down 0 k
+      heap_down dist sel 0 k
     end
   done;
   (* heapsort the survivors: extract the max to the end repeatedly *)
   for i = !m - 1 downto 1 do
-    swap 0 i;
-    down 0 i
+    heap_swap sel 0 i;
+    heap_down dist sel 0 i
   done;
   !m
 
@@ -230,7 +233,10 @@ let step net ~(new_node : Node.t) ~level ~update_tables ~k ~dgen =
   Scratch.ensure_handles s ~n:net.Network.arena_len;
   let vgen = Scratch.bump_visit s in
   s.Scratch.cand_len <- 0;
-  let note (n : Node.t) =
+  (* [@alloc_ok]: [note] and [note_bp] close over the step's stamps; two
+     closures per GETNEXTLIST step (one network round-trip each), not per
+     candidate. *)
+  let[@alloc_ok] note (n : Node.t) =
     let h = n.Node.handle in
     if s.Scratch.stamp.(h) <> vgen then begin
       s.Scratch.stamp.(h) <- vgen;
@@ -246,6 +252,10 @@ let step net ~(new_node : Node.t) ~level ~update_tables ~k ~dgen =
         Scratch.push_cand s h
       end
     end
+  in
+  let[@alloc_ok] note_bp id h =
+    if h >= 0 then note (Network.node_of_handle net h)
+    else match Network.find net id with Some m -> note m | None -> ()
   in
   for i = 0 to s.Scratch.cur_len - 1 do
     let n = Network.node_of_handle net s.Scratch.cur.(i) in
@@ -268,13 +278,12 @@ let step net ~(new_node : Node.t) ~level ~update_tables ~k ~dgen =
           | None -> ()
       done
     done;
-    Routing_table.iter_backpointers table ~level (fun id h ->
-        if h >= 0 then note (Network.node_of_handle net h)
-        else match Network.find net id with Some m -> note m | None -> ())
+    Routing_table.iter_backpointers table ~level note_bp
   done;
   select_k_closest s ~k
 
-let load_cur (s : Scratch.t) list =
+(* [@alloc_ok]: one index cell and one closure per descent seeding. *)
+let[@alloc_ok] load_cur (s : Scratch.t) list =
   let len = List.length list in
   if len > Array.length s.Scratch.cur then
     s.Scratch.cur <- Array.make (max len 64) 0;
@@ -286,8 +295,10 @@ let load_cur (s : Scratch.t) list =
     list;
   s.Scratch.cur_len <- len
 
-let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list
-    ~k =
+(* [@alloc_ok]: the result list is the API contract; everything between
+   [load_cur] and the cons-out loop runs on scratch buffers. *)
+let[@alloc_ok] get_next_list ?(update_tables = true) net ~(new_node : Node.t)
+    ~level list ~k =
   if List.exists (fun (n : Node.t) -> n.Node.handle < 0) list then
     (* unregistered nodes carry no handle to index the scratch by *)
     Oracle.get_next_list ~update_tables net ~new_node ~level list ~k
@@ -309,9 +320,15 @@ let get_next_list ?(update_tables = true) net ~(new_node : Node.t) ~level list
    matching node iff one exists (Theorem 2's maximal-prefix property).
    [Route.fold_path] with a unit accumulator keeps the probe's charges
    identical to a full walk without materializing the path. *)
+(* The probe's fold callback and its `Continue are static: a hole probe
+   walks the mesh without allocating per hop. *)
+let probe_continue = `Continue ()
+let probe_step () _ = probe_continue
+
 let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
   let cfg = net.Network.config in
-  let filled = ref 0 in
+  (* [@alloc_ok]: one counter cell per backstop pass *)
+  let[@alloc_ok] filled = ref 0 in
   for level = 0 to min max_level (cfg.Config.id_digits - 1) do
     for digit = 0 to cfg.Config.base - 1 do
       if Routing_table.is_hole new_node.Node.table ~level ~digit then begin
@@ -319,8 +336,7 @@ let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
         target_digits.(level) <- digit;
         let target = Node_id.make target_digits in
         let root, (), _ =
-          Route.fold_path net ~from:surrogate target ~init:() ~f:(fun () _ ->
-              `Continue ())
+          Route.fold_path net ~from:surrogate target ~init:() ~f:probe_step
         in
         if
           (not (Node_id.equal root.Node.id new_node.Node.id))
@@ -339,8 +355,10 @@ let fill_holes net ~(new_node : Node.t) ~(surrogate : Node.t) ~max_level =
    closest node of the final (level 0) list.  The level list lives in
    [s.cur] between steps; the distance memo is valid for the whole descent
    (one [dgen]) because the metric is static and the joiner is fixed. *)
-let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k ~contacted
-    ~updated =
+(* [@alloc_ok]: per-descent seeding (one closure over the distance memo)
+   and the trace pieces in the result; the level steps run on scratch. *)
+let[@alloc_ok] run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k
+    ~contacted ~updated =
   let s = net.Network.scratch in
   Scratch.ensure_handles s ~n:net.Network.arena_len;
   let dgen = Scratch.bump_dist s in
@@ -395,8 +413,10 @@ let run_descent net ~(new_node : Node.t) ~max_level ~initial_list ~k ~contacted
       Some (Network.node_of_handle net s.Scratch.cur.(0))
     else None )
 
-let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
-    ~(surrogate : Node.t) ~initial_list =
+(* [@alloc_ok]: per-join trace accumulation (counter cells, the result
+   record, the adaptive-k driver's closure). *)
+let[@alloc_ok] acquire_neighbor_table ?(adaptive = false) net
+    ~(new_node : Node.t) ~(surrogate : Node.t) ~initial_list =
   if List.exists (fun (n : Node.t) -> n.Node.handle < 0) initial_list then
     Oracle.acquire_neighbor_table ~adaptive net ~new_node ~surrogate
       ~initial_list
@@ -444,7 +464,9 @@ let acquire_neighbor_table ?(adaptive = false) net ~(new_node : Node.t)
     }
   end
 
-let nearest_neighbor net ~(from : Node.t) =
+(* [@alloc_ok]: a maintenance-time query; one best-so-far cell and a pair
+   per improvement. *)
+let[@alloc_ok] nearest_neighbor net ~(from : Node.t) =
   (* Property 2's static solution: the closest entry among the level-0
      neighbor sets. *)
   let table = from.Node.table in

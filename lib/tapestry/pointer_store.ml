@@ -9,7 +9,7 @@ type record = {
 module Key = struct
   type t = Node_id.t * Node_id.t * int
 
-  let equal (g1, s1, r1) (g2, s2, r2) =
+  let equal ((g1, s1, r1) : t) ((g2, s2, r2) : t) =
     r1 = r2 && Node_id.equal g1 g2 && Node_id.equal s1 s2
 
   let hash (g, s, r) = (((Node_id.hash g * 31) + Node_id.hash s) * 31) + r

@@ -1,5 +1,10 @@
 type variant = Native | Prr_like
 
+let equal_variant a b =
+  match a with
+  | Native -> ( match b with Native -> true | Prr_like -> false)
+  | Prr_like -> ( match b with Prr_like -> true | Native -> false)
+
 type info = { root : Node.t; path : Node.t list; surrogate_hops : int }
 
 let default_on_dead net ~owner ~dead = Network.drop_link net ~owner ~target:dead
@@ -45,13 +50,12 @@ and purge net on_dead skip (owner : Node.t) ~level ~digit ~dead =
 (* Most-significant-bit agreement between two digits, used by the PRR-like
    variant's first-hole rule.  [bits] is the digit width, precomputed in
    [Config.digit_bits]. *)
-let msb_agreement ~bits a b =
-  let rec go i acc =
-    if i < 0 then acc
-    else if (a lsr i) land 1 = (b lsr i) land 1 then go (i - 1) (acc + 1)
-    else acc
-  in
-  go (bits - 1) 0
+let rec msb_agree a b i acc =
+  if i < 0 then acc
+  else if (a lsr i) land 1 = (b lsr i) land 1 then msb_agree a b (i - 1) (acc + 1)
+  else acc
+
+let msb_agreement ~bits a b = msb_agree a b (bits - 1) 0
 
 type walk_state = { mutable hole_seen : bool; mutable surrogate_hops : int }
 
@@ -99,6 +103,32 @@ let rec native_scan net on_dead skip state (node : Node.t) ~level ~want ~base
     end
   end
 
+(* At the first hole (PRR-like): the filled digit with the best
+   most-significant-bit agreement with the wanted digit, ties to the
+   numerically higher digit.  Int accumulators and an exempt [Some], so
+   even this rare branch allocates nothing. *)
+let rec first_hole_best net on_dead skip (node : Node.t) ~level ~want ~bits
+    ~base j ~best_s ~best_j ~best =
+  if j >= base then best
+  else
+    let cand =
+      if Routing_table.filled_mask node.Node.table ~level land (1 lsl j) <> 0
+      then first_alive net on_dead skip node ~level ~digit:j
+      else None
+    in
+    match cand with
+    | Some _ ->
+        let s = msb_agreement ~bits want j in
+        if s > best_s || (s = best_s && j > best_j) then
+          first_hole_best net on_dead skip node ~level ~want ~bits ~base (j + 1)
+            ~best_s:s ~best_j:j ~best:cand
+        else
+          first_hole_best net on_dead skip node ~level ~want ~bits ~base (j + 1)
+            ~best_s ~best_j ~best
+    | None ->
+        first_hole_best net on_dead skip node ~level ~want ~bits ~base (j + 1)
+          ~best_s ~best_j ~best
+
 (* After the first hole (PRR-like): numerically highest filled digit. *)
 let rec prr_down net on_dead skip (node : Node.t) ~level j =
   if j < 0 then None
@@ -128,29 +158,16 @@ let choose_next net on_dead skip variant state (node : Node.t) guid ~level =
       (match hit with
       | Some n -> Some n
       | None when not state.hole_seen ->
-          (* First hole: best most-significant-bit agreement, ties to the
-             numerically higher digit. *)
           state.hole_seen <- true;
           let bits = net.Network.config.Config.digit_bits in
-          let best = ref None in
-          for j = 0 to base - 1 do
-            if
-              Routing_table.filled_mask node.Node.table ~level land (1 lsl j)
-              <> 0
-            then begin
-              match first_alive net on_dead skip node ~level ~digit:j with
-              | None -> ()
-              | Some n ->
-                  let score = (msb_agreement ~bits want j, j) in
-                  (match !best with
-                  | Some (s, _) when s >= score -> ()
-                  | _ -> best := Some (score, n))
-            end
-          done;
-          Option.map snd !best
+          first_hole_best net on_dead skip node ~level ~want ~bits ~base 0
+            ~best_s:(-1) ~best_j:(-1) ~best:None
       | None -> prr_down net on_dead skip node ~level (base - 1))
 
-let walk_internal variant on_dead skip net ~from guid ~init ~f =
+(* [@alloc_ok]: one walk allocates its [walk_state] record, the [walk]
+   closure over it and the result tuple — a fixed handful of words per
+   routed message.  The per-hop digit scans above allocate nothing. *)
+let[@alloc_ok] walk_internal variant on_dead skip net ~from guid ~init ~f =
   let digits = net.Network.config.Config.id_digits in
   let state = { hole_seen = false; surrogate_hops = 0 } in
   let rec walk (node : Node.t) level acc =
@@ -173,29 +190,32 @@ let walk_internal variant on_dead skip net ~from guid ~init ~f =
   | `Stop acc -> (from, acc, true, 0)
   | `Continue acc -> walk from 0 acc
 
-let resolve_skip exclude skip =
+(* [@alloc_ok] below: the public entry points build their skip predicate
+   and fold callback once per operation, and [route_to_root] /
+   [route_to_node] allocate the path list their callers asked for. *)
+let[@alloc_ok] resolve_skip exclude skip =
   match (exclude, skip) with
   | Some x, None -> fun id -> Node_id.equal x id
   | None, Some p -> p
   | None, None -> fun _ -> false
   | Some x, Some p -> fun id -> Node_id.equal x id || p id
 
-let fold_path ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip net
-    ~from guid ~init ~f =
+let[@alloc_ok] fold_path ?(variant = Native) ?(on_dead = default_on_dead)
+    ?exclude ?skip net ~from guid ~init ~f =
   let node, acc, stopped, _ =
     walk_internal variant on_dead (resolve_skip exclude skip) net ~from guid ~init ~f
   in
   (node, acc, stopped)
 
-let route_to_root ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip
-    net ~from guid =
+let[@alloc_ok] route_to_root ?(variant = Native) ?(on_dead = default_on_dead)
+    ?exclude ?skip net ~from guid =
   let root, rev_path, _, surrogate_hops =
     walk_internal variant on_dead (resolve_skip exclude skip) net ~from guid
       ~init:[] ~f:(fun path node -> `Continue (node :: path))
   in
   { root; path = List.rev rev_path; surrogate_hops }
 
-let route_to_node ?on_dead ?exclude ?skip net ~from target_id =
+let[@alloc_ok] route_to_node ?on_dead ?exclude ?skip net ~from target_id =
   let final, rev_path, _ =
     fold_path ?on_dead ?exclude ?skip net ~from target_id ~init:[]
       ~f:(fun path node ->
@@ -205,8 +225,8 @@ let route_to_node ?on_dead ?exclude ?skip net ~from target_id =
   let path = List.rev rev_path in
   if Node_id.equal final.Node.id target_id then (Some final, path) else (None, path)
 
-let peek_first_hop ?(variant = Native) ?(on_dead = default_on_dead) ?exclude ?skip
-    net (node : Node.t) guid =
+let[@alloc_ok] peek_first_hop ?(variant = Native) ?(on_dead = default_on_dead)
+    ?exclude ?skip net (node : Node.t) guid =
   let digits = net.Network.config.Config.id_digits in
   let state = { hole_seen = false; surrogate_hops = 0 } in
   let skip = resolve_skip exclude skip in

@@ -24,6 +24,8 @@
 
 type variant = Native | Prr_like
 
+val equal_variant : variant -> variant -> bool
+
 type info = {
   root : Node.t;
   path : Node.t list;  (** visited nodes in order, starting at the source *)

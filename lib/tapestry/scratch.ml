@@ -26,7 +26,8 @@ type t = {
   mutable reached_len : int;
 }
 
-let create () =
+(* [@alloc_ok]: one record per network, at network creation. *)
+let[@alloc_ok] create () =
   {
     stamp = [||];
     visit_gen = 0;
@@ -47,7 +48,9 @@ let create () =
 (* Grow the handle-indexed arrays to cover [n] handles.  Fresh cells are
    stamped 0; generations start at 1 (see [bump_*]), so a grown cell is
    never spuriously marked. *)
-let ensure_handles t ~n =
+(* [@alloc_ok]: the grow path runs O(log n) times over a network's life;
+   the common call is two loads and a comparison. *)
+let[@alloc_ok] ensure_handles t ~n =
   if n > Array.length t.stamp then begin
     let cap = max n (max 64 (2 * Array.length t.stamp)) in
     let grow_int a = let b = Array.make cap 0 in Array.blit a 0 b 0 (Array.length a); b in
@@ -68,34 +71,31 @@ let bump_dist t =
   t.dist_gen <- t.dist_gen + 1;
   t.dist_gen
 
-let push_grow arr len x =
-  let a = !arr in
-  if !len = Array.length a then begin
-    let cap = max 64 (2 * Array.length a) in
-    let b = Array.make cap 0 in
-    Array.blit a 0 b 0 !len;
-    arr := b
-  end;
-  !arr.(!len) <- x;
-  incr len
+(* Doubled copy of [a], used by the push fast paths below.  The pushes
+   themselves are allocation-free (the typed-alloc audit flagged the old
+   ref-cell plumbing: two cells per push, in the descent's inner loop);
+   growth is amortized and lives here, out of the checked fast path. *)
+let grown a len =
+  let cap = max 64 (2 * Array.length a) in
+  let b = Array.make cap 0 in
+  Array.blit a 0 b 0 len;
+  b
 
 let push_cand t h =
-  let arr = ref t.cand and len = ref t.cand_len in
-  push_grow arr len h;
-  t.cand <- !arr;
-  t.cand_len <- !len
+  if t.cand_len = Array.length t.cand then t.cand <- grown t.cand t.cand_len;
+  t.cand.(t.cand_len) <- h;
+  t.cand_len <- t.cand_len + 1
 
 let push_stack t h =
-  let arr = ref t.stack and len = ref t.sp in
-  push_grow arr len h;
-  t.stack <- !arr;
-  t.sp <- !len
+  if t.sp = Array.length t.stack then t.stack <- grown t.stack t.sp;
+  t.stack.(t.sp) <- h;
+  t.sp <- t.sp + 1
 
 let push_reached t h =
-  let arr = ref t.reached and len = ref t.reached_len in
-  push_grow arr len h;
-  t.reached <- !arr;
-  t.reached_len <- !len
+  if t.reached_len = Array.length t.reached then
+    t.reached <- grown t.reached t.reached_len;
+  t.reached.(t.reached_len) <- h;
+  t.reached_len <- t.reached_len + 1
 
 (* Save the selected handles as the current level list. *)
 let set_cur t src len =

@@ -1,0 +1,28 @@
+(* Clean under typed-alloc: non-allocating code, module-initialization
+   data, static currying chains, and one use of each escape hatch
+   ([@alloc_ok] on a toplevel binding, on a local binding, and on an
+   expression).  test_lint.ml asserts zero violations here. *)
+
+type point = { x : int; y : int }
+
+(* straight-line arithmetic: nothing to flag *)
+let dot a b c d = (a * c) + (b * d)
+
+let sum_fields (p : point) = p.x + p.y
+
+(* module-initialization allocations run once and are free *)
+let table = Array.make 8 0
+
+let origin = { x = 0; y = 0 }
+
+(* a static currying chain is one closure at module init, not per call *)
+let scale = fun k -> fun v -> k * v
+
+(* binding-level escape *)
+let[@alloc_ok] point_of a b = { x = a; y = b }
+
+(* local-binding and expression escapes *)
+let total xs =
+  let[@alloc_ok] acc = ref 0 in
+  List.iter ((fun v -> acc := !acc + v) [@alloc_ok]) xs;
+  !acc

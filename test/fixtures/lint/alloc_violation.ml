@@ -1,0 +1,32 @@
+(* Seeded typed-alloc violations: one per allocating construct the typed
+   pass recognizes.  test_lint.ml asserts every one of these fires; the
+   @lint-typed alias never sees this file (it only scans lib/ cmts). *)
+
+type point = { x : int; y : int }
+
+(* closure built per call (not part of the binding's currying chain) *)
+let bump_all xs = List.map (fun p -> p.x + 1) xs
+
+(* tuple allocation *)
+let pair a b = (a, b)
+
+(* record allocation *)
+let mk a b = { x = a; y = b }
+
+(* ref cell *)
+let cell v = ref v
+
+(* partial application: the closure for the remaining argument *)
+let bump_ints xs = List.map (( + ) 1) xs
+
+(* float boxed at the polymorphic formals of [min] *)
+let fmin (a : float) (b : float) = min a b
+
+(* list cons *)
+let grow x xs = x :: xs
+
+(* polymorphic variant with payload *)
+let tag x = `Tag x
+
+(* lazy block *)
+let delay x = lazy (x + 1)

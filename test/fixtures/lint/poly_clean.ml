@@ -1,0 +1,29 @@
+(* Clean under typed-poly-eq: comparisons at structurally safe types
+   (immediates, strings, lists/options/tuples of those), physical
+   equality (identity is the intent at mutable types), and the
+   [@poly_ok] escape at an abstract type. *)
+
+module Guid : sig
+  type t
+
+  val make : int -> t
+end = struct
+  type t = int
+
+  let make g = g
+end
+
+let same_int (a : int) b = a = b
+
+let same_string (a : string) b = a = b
+
+let same_list (a : int list) b = a = b
+
+let same_pair (a : int * string) b = a <> b
+
+type cell = { mutable v : int }
+
+let same_cell (a : cell) b = a == b
+
+(* reviewed: Guid.t is an int under the hood and has no custom order *)
+let same_guid a b = (Guid.make a = Guid.make b) [@poly_ok]

@@ -1,0 +1,19 @@
+(* Seeded typed-poly-eq violations: saturated [=] / [<>] / [compare] at
+   an abstract type — exactly the case the syntactic tier punts on
+   ("a saturated (=) on non-list operands is left to the type checker"). *)
+
+module Guid : sig
+  type t
+
+  val make : int -> t
+end = struct
+  type t = int
+
+  let make g = g
+end
+
+let same a b = Guid.make a = Guid.make b
+
+let differ a b = Guid.make a <> Guid.make b
+
+let order a b = compare (Guid.make a) (Guid.make b)

@@ -1,0 +1,28 @@
+(* Clean under typed-race: the chunked-map pattern (each iteration writes
+   its own slot, index is the for-loop binder), Atomic for the shared
+   counter, and one [@race_ok] escape.  test_lint.ml asserts zero
+   violations here even though [Domain.spawn] makes everything
+   spawn-reachable. *)
+
+let total = Atomic.make 0
+
+let map_halves f n =
+  let results = Array.make n None in
+  let fill lo hi =
+    for i = lo to hi do
+      results.(i) <- Some (f i)
+    done
+  in
+  let mid = n / 2 in
+  let d = Domain.spawn (fun () -> fill 0 (mid - 1)) in
+  fill mid (n - 1);
+  Domain.join d;
+  Atomic.incr total;
+  results
+
+(* reviewed: test-only counter, torn reads acceptable *)
+let audited = ref 0
+
+let note_audited () = (audited := !audited + 1) [@race_ok]
+
+let run_audit () = Domain.join (Domain.spawn note_audited)

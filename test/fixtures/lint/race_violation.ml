@@ -1,0 +1,25 @@
+(* Seeded typed-race violations: a Domain.spawn site whose reachable
+   bindings touch shared mutable state without Atomic/Mutex.  The call
+   graph must reach [bump] and [scatter] from [run]'s spawn and flag the
+   ref write/read, the mutable-field write/read, and the array store
+   whose index is not an enclosing for-loop binder. *)
+
+let hits = ref 0
+
+type state = { mutable count : int }
+
+let st = { count = 0 }
+
+let bump () =
+  hits := !hits + 1;
+  st.count <- st.count + 1
+
+let out = Array.make 8 0
+
+let scatter k = out.(k * 2) <- k
+
+let run () =
+  let d = Domain.spawn (fun () -> bump ()) in
+  scatter 1;
+  bump ();
+  Domain.join d

@@ -132,6 +132,152 @@ let test_seeded_fixture () =
     fired;
   Alcotest.(check bool) "fixture seeds many violations" true (List.length vs >= 10)
 
+(* --- typed tier: fixtures are typechecked in-process (no on-disk
+   build), so the rules run on the same Typedtree the cmt path sees --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture name =
+  Cmt_load.typecheck_string
+    ~file:("test/fixtures/lint/" ^ name)
+    (read_file ("fixtures/lint/" ^ name))
+
+let messages vs = List.map (fun v -> v.Lint_core.message) vs
+
+let assert_mentions name vs needles =
+  let msgs = messages vs in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S" name needle)
+        true
+        (List.exists
+           (fun m ->
+             (* substring search *)
+             let lm = String.length m and ln = String.length needle in
+             let rec at i = i + ln <= lm && (String.sub m i ln = needle || at (i + 1)) in
+             at 0)
+           msgs))
+    needles
+
+let test_typed_alloc_fixture () =
+  let u = fixture "alloc_violation.ml" in
+  let vs = Alloc_check.check ~file:u.Cmt_load.source u.Cmt_load.structure in
+  Alcotest.(check (list string))
+    "every finding is typed-alloc"
+    (List.map (fun _ -> "typed-alloc") vs)
+    (List.map (fun v -> v.Lint_core.rule) vs);
+  assert_mentions "alloc fixture" vs
+    [
+      "closure allocated per call";
+      "tuple allocation";
+      "record allocation";
+      "ref cell allocation";
+      "partial application";
+      "float boxed at a polymorphic argument position";
+      "list cons allocation";
+      "polymorphic variant with payload";
+      "lazy block allocation";
+    ]
+
+let test_typed_alloc_clean () =
+  let u = fixture "alloc_clean.ml" in
+  Alcotest.(check (list string))
+    "clean fixture has no findings" []
+    (messages (Alloc_check.check ~file:u.Cmt_load.source u.Cmt_load.structure))
+
+let test_typed_poly_fixture () =
+  let u = fixture "poly_violation.ml" in
+  let vs = Typed_poly.check ~file:u.Cmt_load.source u.Cmt_load.structure in
+  Alcotest.(check int) "three seeded comparisons" 3 (List.length vs);
+  assert_mentions "poly fixture" vs [ "( = )"; "( <> )"; "compare"; "Guid.t" ]
+
+let test_typed_poly_clean () =
+  let u = fixture "poly_clean.ml" in
+  Alcotest.(check (list string))
+    "safe types, == and [@poly_ok] all pass" []
+    (messages (Typed_poly.check ~file:u.Cmt_load.source u.Cmt_load.structure))
+
+let race_of unit_ =
+  Race_check.check (Callgraph.build [ unit_ ])
+
+let test_typed_race_fixture () =
+  let u = fixture "race_violation.ml" in
+  let graph = Callgraph.build [ u ] in
+  Alcotest.(check bool) "spawn makes bindings reachable" true
+    (match Callgraph.spawn_reachable graph with [] -> false | _ :: _ -> true);
+  let vs = Race_check.check graph in
+  assert_mentions "race fixture" vs
+    [
+      "unsynchronized ref write";
+      "unsynchronized ref read";
+      "unsynchronized write to mutable field count";
+      "unsynchronized read of mutable field count";
+      "array store not proven chunk-local";
+    ]
+
+let test_typed_race_clean () =
+  let u = fixture "race_clean.ml" in
+  Alcotest.(check (list string))
+    "chunked map, Atomic and [@race_ok] all pass" []
+    (messages (race_of u))
+
+(* The live regression the ISSUE pins down: [Simnet.Parallel.map]'s
+   chunked result writes must stay accepted *as written*, from the real
+   cmt the build produced (not a re-typed copy). *)
+let test_race_accepts_parallel_map () =
+  let cmt = "../lib/simnet/.simnet.objs/byte/simnet__Parallel.cmt" in
+  match Cmt_load.load cmt with
+  | None -> Alcotest.fail ("could not load " ^ cmt)
+  | Some u ->
+      Alcotest.(check string) "short module name" "Parallel" u.Cmt_load.modname;
+      let graph = Callgraph.build [ u ] in
+      Alcotest.(check bool) "Parallel.map's spawn site is seen" true
+        (match Callgraph.spawn_reachable graph with
+        | [] -> false
+        | _ :: _ -> true);
+      Alcotest.(check (list string))
+        "chunked map accepted as written" []
+        (messages (Race_check.check graph))
+
+(* --- allowlist hardening: duplicates and shadowed entries rejected,
+   stale entries reported --- *)
+
+let test_allowlist_checked () =
+  (match Lint_core.parse_allowlist_checked "typed-alloc lib/a.ml\n" with
+  | Ok [ ("typed-alloc", "lib/a.ml") ] -> ()
+  | _ -> Alcotest.fail "single entry should parse");
+  (match
+     Lint_core.parse_allowlist_checked
+       "typed-alloc lib/a.ml\n# note\ntyped-alloc lib/a.ml\n"
+   with
+  | Error [ e ] ->
+      Alcotest.(check bool) "duplicate named" true
+        (String.length e > 0 && Option.is_some (String.index_opt e 'd'))
+  | _ -> Alcotest.fail "exact duplicate must be rejected");
+  (match
+     Lint_core.parse_allowlist_checked
+       "typed-race lib/simnet/parallel.ml\ntyped-race parallel.ml\n"
+   with
+  | Error (_ :: _) -> ()
+  | _ -> Alcotest.fail "shadowed entry must be rejected");
+  (* same path under different rules is fine *)
+  (match
+     Lint_core.parse_allowlist_checked
+       "typed-alloc lib/a.ml\ntyped-race lib/a.ml\n"
+   with
+  | Ok [ _; _ ] -> ()
+  | _ -> Alcotest.fail "same path under two rules is not a conflict");
+  let al = [ ("typed-alloc", "lib/a.ml"); ("typed-race", "lib/b.ml") ] in
+  Alcotest.(check (list (pair string string)))
+    "unused entries are reported stale"
+    [ ("typed-race", "lib/b.ml") ]
+    (Lint_core.unused_entries al ~used:[ ("typed-alloc", "lib/a.ml") ])
+
 let () =
   Alcotest.run "lint"
     [
@@ -149,8 +295,24 @@ let () =
       ( "infrastructure",
         [
           Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "allowlist hardening" `Quick test_allowlist_checked;
           Alcotest.test_case "missing mlis" `Quick test_missing_mlis;
           Alcotest.test_case "violation format" `Quick test_violation_format;
           Alcotest.test_case "seeded fixture" `Quick test_seeded_fixture;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "alloc fixture fires" `Quick
+            test_typed_alloc_fixture;
+          Alcotest.test_case "alloc escapes pass" `Quick test_typed_alloc_clean;
+          Alcotest.test_case "poly-eq fixture fires" `Quick
+            test_typed_poly_fixture;
+          Alcotest.test_case "poly-eq escapes pass" `Quick
+            test_typed_poly_clean;
+          Alcotest.test_case "race fixture fires" `Quick
+            test_typed_race_fixture;
+          Alcotest.test_case "race escapes pass" `Quick test_typed_race_clean;
+          Alcotest.test_case "race accepts Parallel.map" `Quick
+            test_race_accepts_parallel_map;
         ] );
     ]

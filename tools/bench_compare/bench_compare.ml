@@ -1,14 +1,19 @@
 (* Diff two bench JSON files (schema tapestry-bench/1) op by op.
 
-   Usage: bench_compare [--threshold PCT] BASELINE.json CURRENT.json
+   Usage: bench_compare [--threshold PCT] [--advisory] BASELINE.json
+   CURRENT.json
 
    Prints a per-op table of ns/op before/after and the ratio, flags ops
    whose ns/op regressed by more than the threshold (default 25%), and
-   exits non-zero if any op regressed past it.  Microbenchmark noise on
-   shared machines easily reaches tens of percent, so callers that wire
-   this into CI should treat the exit code as advisory. *)
+   exits 1 if any op regressed past it — tools/check.sh wires this in
+   as a gate.  [--advisory] keeps the report but always exits 0: the
+   escape hatch for noisy shared machines, where a short run's jitter
+   can cross any reasonable threshold.  Exit 2 is reserved for
+   configuration errors (unreadable/mis-schema'd files), so a gating
+   caller can tell "slow" from "broken". *)
 
-let usage = "bench_compare [--threshold PCT] BASELINE.json CURRENT.json"
+let usage =
+  "bench_compare [--threshold PCT] [--advisory] BASELINE.json CURRENT.json"
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -45,6 +50,7 @@ let load path =
 
 let () =
   let threshold = ref 25.0 in
+  let advisory = ref false in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -52,6 +58,9 @@ let () =
         (match float_of_string_opt v with
         | Some t when t >= 0. -> threshold := t
         | _ -> fail "bench_compare: bad threshold %S" v);
+        parse_args rest
+    | "--advisory" :: rest ->
+        advisory := true;
         parse_args rest
     | ("--help" | "-h") :: _ ->
         print_endline usage;
@@ -92,6 +101,8 @@ let () =
   if !regressed > 0 then begin
     Printf.printf "%d op(s) regressed more than %g%% vs %s\n" !regressed
       !threshold base_file;
-    exit 1
+    if !advisory then
+      print_endline "bench_compare: advisory mode, not failing the check"
+    else exit 1
   end
   else Printf.printf "no op regressed more than %g%% vs %s\n" !threshold base_file

@@ -1,29 +1,43 @@
 #!/usr/bin/env bash
-# One-command repo health check: build, tests, lint, bench smoke.
-# Run from the repo root: ./tools/check.sh
+# One-command repo health check: build, tests, syntactic lint, typed
+# lint, bench smoke, then the thresholded bench gate.
+#
+# Each stage fails with a distinct exit code so a caller (or CI log)
+# can attribute the failure without scraping output:
+#   10 build        11 tests          12 syntactic lint
+#   13 typed lint   14 bench smoke    15 bench gate
+#
+# The bench gate compares a short run against the committed
+# BENCH_baseline.json and fails if any paired op regressed more than
+# 25% (tools/bench_compare).  ./tools/check.sh --advisory keeps the
+# comparison report but never fails on it — the escape hatch for noisy
+# shared machines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-dune build
-dune runtest
-dune build @lint
+advisory=""
+for arg in "$@"; do
+  case "$arg" in
+    --advisory) advisory="--advisory" ;;
+    *) echo "usage: tools/check.sh [--advisory]" >&2; exit 2 ;;
+  esac
+done
+
+dune build || exit 10
+dune runtest || exit 11
+dune build @lint-syntax || exit 12
+dune build @lint-typed || exit 13
 # Bench smoke: microbenches under a tiny quota + BENCH_results JSON
 # round-trip through the parser.
-dune build @bench-smoke
+dune build @bench-smoke || exit 14
 
-# Advisory perf diff vs the committed baseline: a short bench run is far
-# too noisy to gate on, so regressions are reported but never fail the
-# check.  The baseline covers the routing/location ops and the insertion
-# hot path (insert, acquire_neighbor_table, multicast with and without a
-# watchlist) next to their list-based oracle pairs, so a slowdown in the
-# packed pipeline shows up here as the packed/oracle gap closing.
 if [ -f BENCH_baseline.json ]; then
   tmp_bench=$(mktemp /tmp/bench_current.XXXXXX.json)
-  dune exec bench/main.exe -- --no-tables --quota 0.25 --json "$tmp_bench" \
-    > /dev/null 2>&1 || true
+  trap 'rm -f "$tmp_bench"' EXIT
+  dune exec bench/main.exe -- --no-tables --quota 0.5 --json "$tmp_bench" \
+    > /dev/null 2>&1 || exit 14
   dune exec tools/bench_compare/bench_compare.exe -- \
-    BENCH_baseline.json "$tmp_bench" || true
-  rm -f "$tmp_bench"
+    --threshold 25 $advisory BENCH_baseline.json "$tmp_bench" || exit 15
 fi
 
-echo "check: build + tests + lint + bench smoke all clean"
+echo "check: build + tests + lint (syntactic, typed) + bench gate all clean"

@@ -1,0 +1,119 @@
+(* Defs/uses call graph over the typedtree, for the race checker
+   (DESIGN.md section 7.3).
+
+   Nodes are toplevel value bindings, keyed (module, name) with the
+   short module name ([Cmt_load.path_key]); bindings inside named
+   submodules are keyed by the submodule's name.  Edges are the
+   resolved value references ([Texp_ident]) in a binding's body —
+   local [let]s are part of the body walk, so a local helper's callees
+   are attributed to the enclosing toplevel binding.
+
+   The one consumer query is {!spawn_reachable}: the transitive callee
+   closure of every binding whose body contains a [Domain.spawn]
+   application.  That overapproximates "code that may run on a spawned
+   domain" in two directions we accept: the spawning binding's
+   main-domain code is included (it shares state with the spawned thunk
+   by construction, so scanning it is wanted anyway), and a closure
+   passed *into* a spawning function from outside is missed — the
+   boundary is the function parameter, which resolves to no def.  The
+   race rules therefore also rely on the repo convention that all
+   domain fan-out goes through [Simnet.Parallel]. *)
+
+open Typedtree
+
+type def = {
+  source : string;
+  modname : string;
+  name : string;
+  loc : Location.t;
+  body : expression;
+  uses : (string * string) list;
+  spawns : bool;
+}
+
+type t = { defs : (string * string, def) Hashtbl.t }
+
+let compare_key (m1, n1) (m2, n2) =
+  match String.compare m1 m2 with 0 -> String.compare n1 n2 | c -> c
+
+let is_spawn = function
+  | ("Domain" | "Domain_"), "spawn" -> true
+  | _ -> false
+
+let collect_body_info ~current body =
+  let uses = ref [] in
+  let spawns = ref false in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+        let key = Cmt_load.path_key ~current p in
+        if is_spawn key then spawns := true;
+        uses := key :: !uses
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body;
+  (List.sort_uniq compare_key (List.rev !uses), !spawns)
+
+let build (units : Cmt_load.unit_info list) =
+  let defs = Hashtbl.create 256 in
+  let register ~source ~modname (vb : value_binding) =
+    match vb.vb_pat.pat_desc with
+    | Tpat_var (id, _) ->
+        let name = Ident.name id in
+        let uses, spawns = collect_body_info ~current:modname vb.vb_expr in
+        Hashtbl.replace defs (modname, name)
+          {
+            source;
+            modname;
+            name;
+            loc = vb.vb_loc;
+            body = vb.vb_expr;
+            uses;
+            spawns;
+          }
+    | _ -> ()
+  in
+  let rec structure_item ~source ~modname (item : structure_item) =
+    match item.str_desc with
+    | Tstr_value (_, vbs) -> List.iter (register ~source ~modname) vbs
+    | Tstr_module mb -> module_binding ~source ~modname mb
+    | Tstr_recmodule mbs -> List.iter (module_binding ~source ~modname) mbs
+    | _ -> ()
+  and module_binding ~source ~modname (mb : module_binding) =
+    let modname =
+      match mb.mb_name.txt with Some n -> n | None -> modname
+    in
+    module_expr ~source ~modname mb.mb_expr
+  and module_expr ~source ~modname me =
+    match me.mod_desc with
+    | Tmod_structure str ->
+        List.iter (structure_item ~source ~modname) str.str_items
+    | Tmod_constraint (me, _, _, _) -> module_expr ~source ~modname me
+    | Tmod_functor (_, me) -> module_expr ~source ~modname me
+    | _ -> ()
+  in
+  List.iter
+    (fun (u : Cmt_load.unit_info) ->
+      List.iter
+        (structure_item ~source:u.source ~modname:u.modname)
+        u.structure.str_items)
+    units;
+  { defs }
+
+let spawn_reachable t =
+  let reached = Hashtbl.create 64 in
+  let rec visit key =
+    if not (Hashtbl.mem reached key) then
+      match Hashtbl.find_opt t.defs key with
+      | None -> ()
+      | Some def ->
+          Hashtbl.replace reached key ();
+          List.iter visit def.uses
+  in
+  Hashtbl.iter (fun key def -> if def.spawns then visit key) t.defs;
+  Hashtbl.fold (fun key () acc -> key :: acc) reached []
+  |> List.sort compare_key
+
+let find t key = Hashtbl.find_opt t.defs key

@@ -1,0 +1,135 @@
+(* Input layer for the typed lint tier (DESIGN.md section 7.3).
+
+   The syntactic tier parses sources; this tier instead consumes the
+   [.cmt] files the dune build already produces (bin-annot is on by
+   default), so every check below sees the *typedtree*: resolved paths,
+   inferred types, constructor descriptions, mutability of record labels.
+   Two entry points:
+
+   - {!find_units} walks a build tree (normally [_build/default/lib] or,
+     when invoked from a dune rule, just [lib]) for [*.cmt] files under
+     the compiler's [.objs] directories and loads every implementation.
+   - {!typecheck_string} typechecks a source string in-process against
+     the standard library; the test suite uses it to run the typed rules
+     on fixture sources without an on-disk build.
+
+   Units are deduplicated by source file (byte and native object
+   directories can both carry a cmt) and returned sorted, so the
+   downstream passes report deterministically. *)
+
+type unit_info = {
+  source : string;  (* path the compiler recorded, e.g. lib/tapestry/route.ml *)
+  modname : string; (* short module name: Tapestry__Route -> Route *)
+  structure : Typedtree.structure;
+}
+
+(* Dune's wrapped libraries name compilation units [Lib__Module]; the
+   lint rules and the call graph key on the short, human-facing name. *)
+let short_modname s =
+  let rec last_sep i acc =
+    if i >= String.length s - 1 then acc
+    else if s.[i] = '_' && s.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+    else last_sep (i + 1) acc
+  in
+  match last_sep 0 None with
+  | Some j when j < String.length s -> String.sub s j (String.length s - j)
+  | _ -> s
+
+let modname_of_source file =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename file))
+
+(* --- cmt discovery --- *)
+
+let rec find_cmts path acc =
+  match Sys.is_directory path with
+  | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if String.equal name ".git" then acc
+             else find_cmts (Filename.concat path name) acc)
+           acc
+  | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  | exception Sys_error _ -> acc
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | { Cmt_format.cmt_annots = Cmt_format.Implementation structure;
+      cmt_modname;
+      cmt_sourcefile;
+      _;
+    } ->
+      let source = Option.value cmt_sourcefile ~default:path in
+      (* dune-generated alias modules (foo.ml-gen) carry no user code *)
+      if Filename.check_suffix source ".ml-gen" then None
+      else Some { source; modname = short_modname cmt_modname; structure }
+  | _ -> None
+  | exception _ -> None
+
+let find_units roots =
+  let cmts = List.fold_left (fun acc r -> find_cmts r acc) [] roots in
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc cmt ->
+      match load cmt with
+      | Some u when not (Hashtbl.mem seen u.source) ->
+          Hashtbl.replace seen u.source ();
+          u :: acc
+      | _ -> acc)
+    [] (List.sort String.compare cmts)
+  |> List.sort (fun a b -> String.compare a.source b.source)
+
+(* --- in-process typechecking (tests / fixtures) --- *)
+
+let initialized = ref false
+
+let typecheck_string ~file src =
+  if not !initialized then begin
+    Compmisc.init_path ();
+    initialized := true
+  end;
+  let env = Compmisc.initial_env () in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf file;
+  let parsed = Parse.implementation lexbuf in
+  let structure, _sig, _names, _shape, _env =
+    Typemod.type_structure env parsed
+  in
+  { source = file; modname = modname_of_source file; structure }
+
+(* --- shared path helpers for the typed rules --- *)
+
+(* Normalize a resolved [Path.t] to a (module, name) key: the *last*
+   module component plus the value name, so [Stdlib.Domain.spawn],
+   [Domain.spawn] and a re-exported alias all map to ("Domain",
+   "spawn"), and a reference to a same-unit toplevel value maps to
+   (current module, name).  Collisions between same-named modules of
+   different libraries are accepted: the call graph only ever gets more
+   conservative from them. *)
+let path_key ~current path =
+  let rec last_mod = function
+    | Path.Pident i -> short_modname (Ident.name i)
+    | Path.Pdot (_, s) -> s
+    | Path.Papply (p, _) -> last_mod p
+    | Path.Pextra_ty (p, _) -> last_mod p
+  in
+  match path with
+  | Path.Pident i -> (current, Ident.name i)
+  | Path.Pdot (prefix, name) -> (last_mod prefix, name)
+  | Path.Papply _ | Path.Pextra_ty _ -> ("", "")
+
+let has_attr name attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs
+
+let violation ~file ~(loc : Location.t) rule message =
+  let pos = loc.Location.loc_start in
+  {
+    Lint_core.file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule;
+    message;
+  }

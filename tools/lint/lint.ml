@@ -46,7 +46,12 @@ let () =
     [
       ( "--allowlist",
         Arg.String
-          (fun f -> allowlist := Lint_core.parse_allowlist (read_file f) :: !allowlist),
+          (fun f ->
+            match Lint_core.parse_allowlist_checked (read_file f) with
+            | Ok entries -> allowlist := !allowlist @ entries
+            | Error errors ->
+                List.iter (fun e -> Printf.eprintf "%s: %s\n" f e) errors;
+                exit 2),
         "FILE intentional-exception list (rule-id path-suffix per line)" );
     ]
   in
@@ -73,19 +78,35 @@ let () =
   in
   let lib_mls = List.filter under_lib mls in
   let violations = violations @ Lint_core.missing_mlis ~mls:lib_mls ~mlis in
-  let allow v = List.exists (fun al -> Lint_core.allowed al v) !allowlist in
+  let used = ref [] in
   let reported =
     violations
-    |> List.filter (fun v -> not (allow v))
+    |> List.filter (fun v ->
+           match Lint_core.allowed_entry !allowlist v with
+           | Some entry ->
+               if not (List.mem entry !used) then used := entry :: !used;
+               false
+           | None -> true)
     |> List.sort Lint_core.compare_violations
   in
   List.iter (fun v -> print_endline (Lint_core.to_string v)) reported;
-  match reported with
-  | [] ->
+  (* Stale allowlist entries rot silently otherwise: the excused code
+     was fixed or moved, and the entry would excuse a future regression. *)
+  let stale = Lint_core.unused_entries !allowlist ~used:!used in
+  List.iter
+    (fun (rule, path) ->
+      Printf.printf
+        "allowlist: stale entry '%s %s' matched nothing — remove it\n" rule path)
+    stale;
+  match (reported, stale) with
+  | [], [] ->
       Printf.printf "lint: %d files clean\n" (List.length mls);
       exit 0
-  | vs ->
-      Printf.printf "lint: %d violation%s in %d files\n" (List.length vs)
+  | vs, stale ->
+      Printf.printf "lint: %d violation%s, %d stale allowlist entr%s in %d files\n"
+        (List.length vs)
         (if List.length vs = 1 then "" else "s")
+        (List.length stale)
+        (if List.length stale = 1 then "y" else "ies")
         (List.length mls);
       exit 1

@@ -52,6 +52,11 @@ let rule_ids =
     "hot-path-alloc";
     "missing-mli";
     "parse-error";
+    (* typed tier (cmt-based; see alloc_check.ml, race_check.ml,
+       typed_poly.ml) *)
+    "typed-alloc";
+    "typed-race";
+    "typed-poly-eq";
   ]
 
 let to_string v =
@@ -89,9 +94,69 @@ let suffix_matches ~suffix path =
   let ls = String.length suffix and lp = String.length path in
   ls <= lp && String.sub path (lp - ls) ls = suffix
 
-let allowed allowlist v =
-  List.exists
-    (fun (rule, path) -> String.equal rule v.rule && suffix_matches ~suffix:path v.file)
+(* Duplicate and conflicting entries are configuration errors: an exact
+   duplicate is dead weight, and an entry whose path ends with another
+   entry's path (same rule) can never match anything the shorter one
+   does not already cover — both rot silently unless rejected. *)
+let allowlist_errors entries =
+  let errors = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (rule, path) ->
+      (if Hashtbl.mem seen (rule, path) then
+         errors :=
+           Printf.sprintf "duplicate allowlist entry: %s %s" rule path
+           :: !errors
+       else
+         List.iter
+           (fun ((r2, p2) as k2) ->
+             if
+               Hashtbl.mem seen k2 && String.equal rule r2
+               && not (String.equal path p2)
+             then
+               if suffix_matches ~suffix:p2 path then
+                 errors :=
+                   Printf.sprintf
+                     "conflicting allowlist entries: '%s %s' is shadowed by \
+                      broader '%s %s'"
+                     rule path r2 p2
+                   :: !errors
+               else if suffix_matches ~suffix:path p2 then
+                 errors :=
+                   Printf.sprintf
+                     "conflicting allowlist entries: '%s %s' is shadowed by \
+                      broader '%s %s'"
+                     r2 p2 rule path
+                   :: !errors)
+           entries);
+      Hashtbl.replace seen (rule, path) ())
+    entries;
+  List.rev !errors
+
+let parse_allowlist_checked content =
+  let entries = parse_allowlist content in
+  match allowlist_errors entries with
+  | [] -> Ok entries
+  | errors -> Error errors
+
+let allowed_entry allowlist v =
+  List.find_opt
+    (fun (rule, path) ->
+      String.equal rule v.rule && suffix_matches ~suffix:path v.file)
+    allowlist
+
+let allowed allowlist v = Option.is_some (allowed_entry allowlist v)
+
+(* Entries that matched no violation in a run are stale: the code they
+   excused has been fixed or moved, and leaving them around silently
+   re-excuses future regressions. *)
+let unused_entries allowlist ~used =
+  List.filter
+    (fun (rule, path) ->
+      not
+        (List.exists
+           (fun (r, p) -> String.equal r rule && String.equal p path)
+           used))
     allowlist
 
 (* --- expression rules --- *)

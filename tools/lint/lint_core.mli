@@ -17,6 +17,10 @@
     - [missing-mli]: a library module without an interface;
     - [parse-error]: the file does not parse.
 
+    The typed tier (cmt-based; [Alloc_check], [Race_check],
+    [Typed_poly]) reuses {!violation}, the allowlist format and the
+    rule-id namespace ([typed-alloc], [typed-race], [typed-poly-eq]).
+
     The expression rules are syntactic approximations; intentional
     exceptions go in the allowlist file. *)
 
@@ -33,12 +37,26 @@ val rule_ids : string list
 val to_string : violation -> string
 (** ["file:line: rule-id message"], the format the CLI prints. *)
 
-type allowlist
+type allowlist = (string * string) list
+(** (rule-id, path-suffix) pairs, in file order. *)
 
 val parse_allowlist : string -> allowlist
 (** One entry per line: ["<rule-id> <path-suffix>"]; ['#'] comments. *)
 
+val parse_allowlist_checked : string -> (allowlist, string list) result
+(** Like {!parse_allowlist}, but rejects duplicate entries and
+    conflicting ones (an entry shadowed by a broader suffix under the
+    same rule).  The error strings are human-readable diagnostics. *)
+
 val allowed : allowlist -> violation -> bool
+
+val allowed_entry : allowlist -> violation -> (string * string) option
+(** The entry that excuses [v], if any — callers use it to track which
+    entries were actually exercised in a run. *)
+
+val unused_entries : allowlist -> used:(string * string) list -> allowlist
+(** Entries that excused nothing: stale, and reported as failures so
+    they cannot rot silently. *)
 
 val lint_string :
   file:string ->

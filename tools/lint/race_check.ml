@@ -1,0 +1,133 @@
+(* Static race guard for Domain-parallel code (DESIGN.md section 7.3).
+
+   Within every binding the call graph proves reachable from a
+   [Domain.spawn] site, flag touches of shared mutable state that are
+   not mediated by [Atomic]/[Mutex]:
+
+   - mutable record field writes ([Texp_setfield]) and reads
+     ([Texp_field] of a mutable label);
+   - ref operations: [:=], [!], [incr], [decr] and [ref] cells shared
+     through captures;
+   - array stores ([Array.set]/[unsafe_set]/[fill]/[blit]) — except
+     the chunk-local pattern the deterministic parallel map is built
+     on: a store [a.(i) <- v] whose index is the binder of an
+     enclosing [for] loop writes a distinct slot per iteration, which
+     is exactly how [Simnet.Parallel.map] partitions its result array
+     between domains, so it is accepted.
+
+   [Atomic.*]/[Mutex.*]/[Condition.*]/[Semaphore.*] calls are never
+   flagged (they are the fix, not the hazard).  [[@race_ok]] on an
+   expression or let-binding accepts a subtree after manual review;
+   the typed allowlist accepts (rule, path-suffix) pairs.
+
+   This is the static guard the ROADMAP's sharded serving runtime
+   needs before it exists: today the only spawn site is
+   [Simnet.Parallel], and the check certifies its chunked map stays
+   write-disjoint as it evolves. *)
+
+open Typedtree
+
+let rule = "typed-race"
+let attr = "race_ok"
+
+let array_store = function
+  | "Array", ("set" | "unsafe_set" | "fill" | "blit") -> true
+  | _ -> false
+
+let ref_write = function
+  | "Stdlib", (":=" | "incr" | "decr") -> true
+  | _ -> false
+
+let ref_read = function "Stdlib", "!" -> true | _ -> false
+
+(* indexes bound by enclosing for loops; Ident stamps make membership
+   exact without scope tracking *)
+let collect_for_indexes body =
+  let ids = ref [] in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_for (id, _, _, _, _, _) -> ids := id :: !ids
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !ids
+
+let check_def ~file (def : Callgraph.def) =
+  let violations = ref [] in
+  let add ~loc message =
+    violations := Cmt_load.violation ~file ~loc rule message :: !violations
+  in
+  let suppressed attrs = Cmt_load.has_attr attr attrs in
+  let for_indexes = collect_for_indexes def.Callgraph.body in
+  let chunk_local_index (arg : expression) =
+    match arg.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) ->
+        List.exists (Ident.same id) for_indexes
+    | _ -> false
+  in
+  let in_spawn ctx = Printf.sprintf "%s (Domain.spawn-reachable)" ctx in
+  let rec walk e =
+    if suppressed e.exp_attributes then ()
+    else
+      match e.exp_desc with
+      | Texp_let (_, vbs, body) ->
+          List.iter
+            (fun vb -> if not (suppressed vb.vb_attributes) then walk vb.vb_expr)
+            vbs;
+          walk body
+      | Texp_setfield (obj, _, label, v) ->
+          add ~loc:e.exp_loc
+            (in_spawn
+               (Printf.sprintf
+                  "unsynchronized write to mutable field %s; use Atomic, a \
+                   Mutex, or keep the record domain-local"
+                  label.Types.lbl_name));
+          walk obj;
+          walk v
+      | Texp_field (obj, _, label) when label.Types.lbl_mut = Asttypes.Mutable
+        ->
+          add ~loc:e.exp_loc
+            (in_spawn
+               (Printf.sprintf
+                  "unsynchronized read of mutable field %s; use Atomic or a \
+                   Mutex"
+                  label.Types.lbl_name));
+          walk obj
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+          let key = Cmt_load.path_key ~current:def.Callgraph.modname p in
+          (if array_store key then
+             match key, args with
+             | ("Array", ("set" | "unsafe_set")), _ :: (_, Some idx) :: _
+               when chunk_local_index idx ->
+                 () (* distinct slot per iteration: the chunked-map pattern *)
+             | _ ->
+                 add ~loc:e.exp_loc
+                   (in_spawn
+                      "array store not proven chunk-local (index is not an \
+                       enclosing for-loop binder); partition writes or \
+                       annotate [@race_ok]")
+           else if ref_write key then
+             add ~loc:e.exp_loc
+               (in_spawn
+                  "unsynchronized ref write; use Atomic.set/incr or a Mutex")
+           else if ref_read key then
+             add ~loc:e.exp_loc
+               (in_spawn "unsynchronized ref read; use Atomic.get"));
+          List.iter (function _, Some a -> walk a | _, None -> ()) args
+      | _ ->
+          let it =
+            { Tast_iterator.default_iterator with expr = (fun _ e -> walk e) }
+          in
+          Tast_iterator.default_iterator.expr it e
+  in
+  walk def.Callgraph.body;
+  List.rev !violations
+
+let check (graph : Callgraph.t) =
+  Callgraph.spawn_reachable graph
+  |> List.concat_map (fun key ->
+         match Callgraph.find graph key with
+         | None -> []
+         | Some def -> check_def ~file:def.Callgraph.source def)

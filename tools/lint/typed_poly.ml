@@ -1,0 +1,86 @@
+(* Typed polymorphic-comparison check (DESIGN.md section 7.3).
+
+   The syntactic tier flags [(=)] passed as a function value and bare
+   [compare], but explicitly punts on saturated applications — [a = b]
+   is indistinguishable from an innocent int comparison without types
+   (lint_core.ml, "a saturated (=) on non-list operands is left to the
+   type checker").  This pass closes that hole: with the typedtree in
+   hand, flag saturated [(=)] / [(<>)] / [compare] whose operand type
+   is not structurally safe.  Physical equality ([==] / [!=]) is left
+   alone: at mutable record types it *is* the identity test the code
+   means (the baselines compare node records by identity on purpose),
+   and flagging it would only breed [Obj.repr] workarounds.
+
+   Structurally safe: the built-in immediates and strings/bytes
+   (int, char, bool, unit, string, bytes, float, int32, int64,
+   nativeint), plus lists/options/arrays/tuples of safe types.
+   Everything else — abstract protocol types like [Node_id.t], records
+   with handle fields, type variables (a comparison kept polymorphic by
+   inference), arrows — either ignores the module's own ordering, can
+   observe representation details (salted-GUID caches, packed-slot
+   scratch state), or raises at runtime.  Aliases of safe types that
+   the cmt leaves unexpanded are flagged conservatively: spell the
+   comparison with the owning module's [equal]/[compare], which is the
+   repo convention anyway.
+
+   Escapes: [[@poly_ok]] on the application, or a (typed-poly-eq,
+   path-suffix) allowlist entry. *)
+
+open Typedtree
+
+let rule = "typed-poly-eq"
+let attr = "poly_ok"
+
+let poly_eq_name = function
+  | "Stdlib", ("=" | "<>" | "compare") -> true
+  | _ -> false
+
+let rec safe ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      let same q = Path.same p q in
+      if
+        same Predef.path_int || same Predef.path_char || same Predef.path_bool
+        || same Predef.path_unit || same Predef.path_string
+        || same Predef.path_bytes || same Predef.path_float
+        || same Predef.path_int32 || same Predef.path_int64
+        || same Predef.path_nativeint
+      then true
+      else if
+        same Predef.path_list || same Predef.path_option
+        || same Predef.path_array
+      then List.for_all safe args
+      else false
+  | Types.Ttuple ts -> List.for_all safe ts
+  | Types.Tpoly (t, _) -> safe t
+  | _ -> false
+
+let describe ty =
+  Format.asprintf "%a" Printtyp.type_expr ty
+
+let check ~file structure =
+  let violations = ref [] in
+  let add ~loc message =
+    violations := Cmt_load.violation ~file ~loc rule message :: !violations
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_apply
+        ( { exp_desc = Texp_ident (p, _, _); _ },
+          [ (_, Some a); (_, Some _) ] )
+      when poly_eq_name (Cmt_load.path_key ~current:"" p)
+           && (not (Cmt_load.has_attr attr e.exp_attributes))
+           && not (safe a.exp_type) ->
+        let _, name = Cmt_load.path_key ~current:"" p in
+        add ~loc:e.exp_loc
+          (Printf.sprintf
+             "polymorphic %s at type %s; use the owning module's \
+              equal/compare (it is abstract for a reason)"
+             (if String.equal name "compare" then "compare" else "( " ^ name ^ " )")
+             (describe a.exp_type))
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it structure;
+  List.rev !violations
