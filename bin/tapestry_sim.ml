@@ -196,10 +196,137 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Publish one object and trace a locate for it.")
     Term.(const run $ seed_arg $ n_arg)
 
+(* --- scale --- *)
+
+let scale_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 100_000; 300_000; 1_000_000 ]
+      & info [ "sizes" ] ~docv:"N,N,.."
+          ~doc:
+            "Comma-separated mesh sizes, run in order (each network is \
+             dropped before the next, so peak residency is one mesh).")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_scale.json")
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write machine-readable results (tapestry-bench/1 schema with a \
+             \"scale\" array); \"-\" disables.")
+  in
+  let objects_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "objects" ] ~docv:"K" ~doc:"Objects published per size.")
+  in
+  let queries_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "queries" ] ~docv:"K" ~doc:"Locate queries sampled per size.")
+  in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Run the full invariant audit on each mesh (adds minutes at \
+             10^6 nodes) and fail on any violation.")
+  in
+  let run seed domains sizes json objects queries audit =
+    let domains =
+      if domains = 0 then Simnet.Parallel.recommended () else domains
+    in
+    match sizes with
+    | [] -> Error (`Msg "scale: no sizes given")
+    | _ :: _ ->
+      let progress msg = Printf.eprintf "[scale] %s\n%!" msg in
+      let points, table =
+        Evaluation.Experiment.scale ~seed ~domains ~now:Unix.gettimeofday
+          ~objects ~queries ~audit ~progress ~sizes ()
+      in
+      Simnet.Stats.Table.print table;
+      (match json with
+      | None | Some "-" -> ()
+      | Some file ->
+          let open Simnet.Json in
+          let sp (p : Evaluation.Experiment.scale_point) =
+            let s = p.Evaluation.Experiment.sp_stats in
+            let open Tapestry.Static_build in
+            Obj
+              [
+                ("n", Int p.Evaluation.Experiment.sp_n);
+                ("build_wall_s", Float p.Evaluation.Experiment.sp_build_wall_s);
+                ("wall_s", Float p.Evaluation.Experiment.sp_wall_s);
+                ("insert_msgs_mean", Float s.msgs.mean);
+                ("insert_msgs_late_mean", Float s.msgs_late.mean);
+                ("insert_fit_c", Float p.Evaluation.Experiment.sp_insert_fit_c);
+                ("insert_hops_mean", Float s.hops.mean);
+                ("multicast_reached_mean", Float s.multicast_reached.mean);
+                ("pointers_transferred", Int s.pointers_transferred);
+                ("entries_per_node", Float s.entries.mean);
+                ("backpointers_per_node", Float s.backpointers.mean);
+                ("locate_hops", Float p.Evaluation.Experiment.sp_locate_hops);
+                ( "locate_success",
+                  Float p.Evaluation.Experiment.sp_locate_success );
+                ("stretch_mean", Float p.Evaluation.Experiment.sp_stretch_mean);
+                ("stretch_p95", Float p.Evaluation.Experiment.sp_stretch_p95);
+                ( "footprint_total_bytes",
+                  Int s.footprint.Tapestry.Network.total_bytes );
+                ( "bytes_per_node",
+                  Float p.Evaluation.Experiment.sp_bytes_per_node );
+                ("peak_rss_kb", Int p.Evaluation.Experiment.sp_peak_rss_kb);
+                ( "gc_top_heap_words",
+                  Int p.Evaluation.Experiment.sp_gc_top_heap_words );
+                ("minor_words", Float p.Evaluation.Experiment.sp_minor_words);
+                ( "audit_violations",
+                  match p.Evaluation.Experiment.sp_audit_violations with
+                  | Some v -> Int v
+                  | None -> Null );
+              ]
+          in
+          let doc =
+            Obj
+              [
+                ("schema", String "tapestry-bench/1");
+                ("seed", Int seed);
+                ("domains", Int domains);
+                ("micro", List []);
+                ("tables", List []);
+                ("scale", List (List.map sp points));
+              ]
+          in
+          let oc = open_out file in
+          output_string oc (to_string doc);
+          close_out oc;
+          Printf.printf "wrote %s\n" file);
+      let dirty =
+        List.exists
+          (fun (p : Evaluation.Experiment.scale_point) ->
+            match p.Evaluation.Experiment.sp_audit_violations with
+            | Some v -> v > 0
+            | None -> false)
+          points
+      in
+      if dirty then Error (`Msg "scale: audit found invariant violations")
+      else Ok ()
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Streamed 10^5-10^6-node construction re-measuring the E1/E2/E4 \
+          claims, with wall-clock and resident-size accounting.")
+    Term.(
+      term_result
+        (const run $ seed_arg $ domains_arg $ sizes_arg $ json_arg
+       $ objects_arg $ queries_arg $ audit_arg))
+
 let main =
   Cmd.group
     (Cmd.info "tapestry_sim" ~version:"1.0.0"
        ~doc:"Reproduction of 'Distributed Object Location in a Dynamic Network'.")
-    [ exp_cmd; build_cmd; trace_cmd ]
+    [ exp_cmd; build_cmd; trace_cmd; scale_cmd ]
 
 let () = exit (Cmd.eval main)

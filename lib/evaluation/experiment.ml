@@ -1394,6 +1394,162 @@ let async_recovery ?(seed = 42) mode =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Scale tier: the E1/E2/E4 claims re-measured at 10^5..10^6 nodes     *)
+(* ------------------------------------------------------------------ *)
+
+type scale_point = {
+  sp_n : int;
+  sp_build_wall_s : float;
+  sp_wall_s : float;
+  sp_stats : Static_build.stream_stats;
+  sp_insert_fit_c : float;
+  sp_locate_hops : float;
+  sp_locate_success : float;
+  sp_stretch_mean : float;
+  sp_stretch_p95 : float;
+  sp_bytes_per_node : float;
+  sp_peak_rss_kb : int;
+  sp_gc_top_heap_words : int;
+  sp_minor_words : float;
+  sp_audit_violations : int option;
+}
+
+(* Peak resident set (VmHWM) of this process in kB, from
+   /proc/self/status; 0 when the file or the field is unavailable. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> acc
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+              let digits =
+                String.to_seq line
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              go (match int_of_string_opt digits with Some v -> v | None -> acc)
+            end
+            else go acc
+      in
+      let r = go 0 in
+      close_in ic;
+      r
+
+(* One scale-tier size: streamed construction, then E2-style locate
+   sampling (hop counts) and E4-style stretch sampling over published
+   objects.  [now] injects wall-clock from the CLI (the library itself
+   stays clock-free for deterministic replay); with the default it reports
+   zeros for the wall fields and everything else is unaffected. *)
+let scale_point ?(seed = 42) ?(domains = 1) ?(now = fun () -> 0.)
+    ?(objects = 1000) ?(queries = 2000) ?(audit = false)
+    ?(progress = fun (_ : string) -> ()) ~n () =
+  progress (Printf.sprintf "n=%d: generating topology" n);
+  let t0 = now () in
+  let rng = Rng.create seed in
+  let metric = Topology.generate Uniform_square ~n ~rng in
+  (* the grid index was built under the generator's density assumption;
+     rebuild it if that drifted (no-op for a fresh full-population index) *)
+  ignore (Metric.rescale_index metric);
+  let net, stats =
+    Static_build.build_streamed ~seed:(seed + 1) ~domains
+      ~progress:(fun ~inserted ~total ->
+        if inserted mod 65536 = 0 || inserted = total then
+          progress (Printf.sprintf "n=%d: %d/%d joined" n inserted total))
+      Config.default metric ~n
+  in
+  let t_build = now () in
+  progress (Printf.sprintf "n=%d: sampling locate/stretch" n);
+  let objs = Workload.place_objects net ~count:(min objects n) ~replicas:1 in
+  let qs = Workload.uniform_queries net ~objects:objs ~count:queries in
+  let hops = ref [] and stretches = ref [] in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun (q : Workload.query) ->
+      incr total;
+      let opt = Workload.optimal_distance net ~client:q.client q.obj in
+      let res, cost =
+        Network.measure net (fun () ->
+            Locate.locate net ~client:q.client q.obj.guid)
+      in
+      match res.Locate.server with
+      | Some _ ->
+          incr ok;
+          hops := float_of_int cost.Cost.hops :: !hops;
+          stretches :=
+            (if opt > 1e-12 then cost.Cost.latency /. opt else 1.0)
+            :: !stretches
+      | None -> ())
+    qs;
+  let audit_violations =
+    if audit then begin
+      progress (Printf.sprintf "n=%d: auditing" n);
+      Some (List.length (Audit.run net).Audit.violations)
+    end
+    else None
+  in
+  let wall = now () -. t0 in
+  let gc = Gc.quick_stat () in
+  let fit = stats.Static_build.msgs_late.Static_build.mean /. (log2 n ** 2.) in
+  ( net,
+    {
+      sp_n = n;
+      sp_build_wall_s = t_build -. t0;
+      sp_wall_s = wall;
+      sp_stats = stats;
+      sp_insert_fit_c = fit;
+      sp_locate_hops = Stats.mean !hops;
+      sp_locate_success = float_of_int !ok /. float_of_int (max 1 !total);
+      sp_stretch_mean = Stats.mean !stretches;
+      sp_stretch_p95 = Stats.percentile !stretches 0.95;
+      sp_bytes_per_node =
+        float_of_int stats.Static_build.footprint.Network.total_bytes
+        /. float_of_int n;
+      sp_peak_rss_kb = peak_rss_kb ();
+      sp_gc_top_heap_words = gc.Gc.top_heap_words;
+      sp_minor_words = gc.Gc.minor_words;
+      sp_audit_violations = audit_violations;
+    } )
+
+let scale ?seed ?domains ?now ?objects ?queries ?audit ?progress ~sizes () =
+  (* Sizes run sequentially, largest last, each network dropped before the
+     next so peak residency is one mesh, not the sum. *)
+  let points =
+    List.map
+      (fun n ->
+        let _net, p =
+          scale_point ?seed ?domains ?now ?objects ?queries ?audit ?progress
+            ~n ()
+        in
+        p)
+      sizes
+  in
+  let t =
+    Stats.Table.create ~title:"Scale: streamed construction + E1/E2/E4 claims"
+      ~columns:
+        [ "n"; "build s"; "msgs(late)"; "c=msgs/log2^2 n"; "hops"; "stretch";
+          "B/node"; "peak RSS MB"; "entries/node" ]
+  in
+  List.iter
+    (fun p ->
+      Stats.Table.add_row t
+        [
+          string_of_int p.sp_n;
+          f p.sp_build_wall_s;
+          f p.sp_stats.Static_build.msgs_late.Static_build.mean;
+          f p.sp_insert_fit_c;
+          f p.sp_locate_hops;
+          f p.sp_stretch_mean;
+          f p.sp_bytes_per_node;
+          f (float_of_int p.sp_peak_rss_kb /. 1024.);
+          f p.sp_stats.Static_build.entries.Static_build.mean;
+        ])
+    points;
+  (points, t)
+
 let all ?(seed = 42) ?(domains = 1) mode =
   [
     ("table1", table1 ~seed ~domains mode);

@@ -90,3 +90,63 @@ val run_and_print : ?seed:int -> ?domains:int -> mode -> string list -> unit
 (** Print the named experiments (or all of them for [[]]) to stdout. *)
 
 val names : string list
+
+(** {2 Scale tier}
+
+    Re-measures the paper's headline claims — E1 insertion cost (fit
+    against c·log² n), E2 locate hop counts, E4 stretch — at
+    10^5–10^6 nodes via {!Tapestry.Static_build.build_streamed}, with
+    resident-size accounting.  Kept out of {!all}/{!names}: a point takes
+    minutes to hours, and the output schema (wall-clock, RSS) is
+    machine-dependent, unlike the deterministic experiment tables. *)
+
+type scale_point = {
+  sp_n : int;
+  sp_build_wall_s : float;  (** construction wall-clock (via [now]) *)
+  sp_wall_s : float;  (** whole point incl. sampling (via [now]) *)
+  sp_stats : Tapestry.Static_build.stream_stats;
+  sp_insert_fit_c : float;
+      (** late-join mean messages / log2(n)² — the E1 constant; flat
+          across sizes confirms the Θ(log² n) insertion bound *)
+  sp_locate_hops : float;  (** E2: mean locate hops over the sample *)
+  sp_locate_success : float;  (** fraction of sampled locates that hit *)
+  sp_stretch_mean : float;  (** E4: mean latency / optimal over sample *)
+  sp_stretch_p95 : float;
+  sp_bytes_per_node : float;
+      (** {!Tapestry.Network.memory_footprint} total / n *)
+  sp_peak_rss_kb : int;  (** VmHWM of the process, kB; 0 if unreadable *)
+  sp_gc_top_heap_words : int;
+  sp_minor_words : float;
+  sp_audit_violations : int option;  (** [Some 0] = audit-clean *)
+}
+
+val scale_point :
+  ?seed:int ->
+  ?domains:int ->
+  ?now:(unit -> float) ->
+  ?objects:int ->
+  ?queries:int ->
+  ?audit:bool ->
+  ?progress:(string -> unit) ->
+  n:int ->
+  unit ->
+  Tapestry.Network.t * scale_point
+(** One size: generate a uniform-square topology, build streamed, sample
+    [queries] locates over [objects] published objects, optionally audit.
+    [now] injects wall-clock (the default returns 0, zeroing the wall
+    fields but nothing else); everything except the wall/RSS/GC fields is
+    deterministic in [seed] and independent of [domains]. *)
+
+val scale :
+  ?seed:int ->
+  ?domains:int ->
+  ?now:(unit -> float) ->
+  ?objects:int ->
+  ?queries:int ->
+  ?audit:bool ->
+  ?progress:(string -> unit) ->
+  sizes:int list ->
+  unit ->
+  scale_point list * Simnet.Stats.Table.t
+(** Run the sizes sequentially (each network dropped before the next, so
+    peak residency is one mesh) and render the summary table. *)

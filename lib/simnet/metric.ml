@@ -4,10 +4,17 @@
    disc.  Matrix/closure metrics have no geometry to index and keep the
    brute-force scans; the [*_brute] variants stay exported as oracles for
    the grid paths (test/test_scale.ml checks exact agreement, including
-   tie-breaks). *)
+   tie-breaks).
+
+   The index is packed CSR-style — one offsets array plus one flat
+   point-index array — instead of an [int list array]: at 10^6 points the
+   per-cell cons cells alone were ~24 MB and a cache miss per candidate.
+   Coordinates live in the same unboxed float arrays the [dist] closure
+   reads, so the index adds ~2 ints per point, nothing more. *)
 
 type spatial = {
-  pts : (float * float) array;
+  xs : float array;  (* shared with the [dist] closure, never copied *)
+  ys : float array;
   torus : float option;  (* [Some side]: coordinates wrap modulo [side] *)
   nx : int;
   ny : int;
@@ -16,45 +23,60 @@ type spatial = {
   minx : float;
   miny : float;
   cover : float;  (* radius at which a ball certainly spans every point *)
-  cells : int list array;  (* per-cell point indices, ascending; row-major *)
+  cell_off : int array;  (* CSR offsets, row-major, length nx*ny + 1 *)
+  cell_pts : int array;  (* point indices grouped by cell, ascending within *)
 }
 
 type t = {
   size : int;
   desc : string;
   dist : int -> int -> float;
-  spatial : spatial option;
+  mutable spatial : spatial option;
+      (* mutable so the index can be rebuilt when its density assumption
+         goes stale ({!rescale_index}); queries never mutate it *)
 }
 
 (* --- grid construction --- *)
 
 let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
 
-let cell_of s x y =
-  let ix = clamp 0 (s.nx - 1) (int_of_float (floor ((x -. s.minx) /. s.cellw))) in
-  let iy = clamp 0 (s.ny - 1) (int_of_float (floor ((y -. s.miny) /. s.cellh))) in
-  (ix, iy)
+let cell_ix s x = clamp 0 (s.nx - 1) (int_of_float (floor ((x -. s.minx) /. s.cellw)))
 
-let build_spatial ?torus pts =
-  let n = Array.length pts in
+let cell_iy s y = clamp 0 (s.ny - 1) (int_of_float (floor ((y -. s.miny) /. s.cellh)))
+
+(* Grid sized for ~[occupancy] points per cell; the default (1) matches the
+   classic sqrt(n) x sqrt(n) layout. *)
+let ideal_per_axis ?(occupancy = 1.) n =
+  max 1 (int_of_float (sqrt (float_of_int n /. max occupancy 1e-9)))
+
+let build_spatial ?torus ?per_axis ~xs ~ys () =
+  let n = Array.length xs in
   if n = 0 then None
   else begin
     let minx, miny, maxx, maxy =
       match torus with
       | Some side -> (0., 0., side, side)
       | None ->
-          Array.fold_left
-            (fun (x0, y0, x1, y1) (x, y) ->
-              (min x0 x, min y0 y, max x1 x, max y1 y))
-            (infinity, infinity, neg_infinity, neg_infinity)
-            pts
+          let x0 = ref infinity and y0 = ref infinity in
+          let x1 = ref neg_infinity and y1 = ref neg_infinity in
+          for p = 0 to n - 1 do
+            if xs.(p) < !x0 then x0 := xs.(p);
+            if xs.(p) > !x1 then x1 := xs.(p);
+            if ys.(p) < !y0 then y0 := ys.(p);
+            if ys.(p) > !y1 then y1 := ys.(p)
+          done;
+          (!x0, !y0, !x1, !y1)
     in
-    let per_axis = max 1 (int_of_float (sqrt (float_of_int n))) in
+    let per_axis =
+      match per_axis with Some k -> max 1 k | None -> ideal_per_axis n
+    in
     let extent lo hi = max (hi -. lo) 1e-9 in
     let w = extent minx maxx and h = extent miny maxy in
+    let ncells = per_axis * per_axis in
     let s =
       {
-        pts;
+        xs;
+        ys;
         torus;
         nx = per_axis;
         ny = per_axis;
@@ -65,15 +87,28 @@ let build_spatial ?torus pts =
         (* torus distances never exceed side (even side/sqrt(2) would do);
            planar distances never exceed the bounding-box semi-perimeter *)
         cover = (match torus with Some side -> side | None -> w +. h);
-        cells = Array.make (per_axis * per_axis) [];
+        cell_off = Array.make (ncells + 1) 0;
+        cell_pts = Array.make n 0;
       }
     in
-    (* bucket in descending index order so each cell list ends ascending *)
-    for p = n - 1 downto 0 do
-      let x, y = pts.(p) in
-      let ix, iy = cell_of s x y in
-      let c = (iy * s.nx) + ix in
-      s.cells.(c) <- p :: s.cells.(c)
+    (* counting sort into CSR: count, prefix-sum, then fill in ascending
+       point order so each cell's slice ends ascending *)
+    let counts = Array.make ncells 0 in
+    for p = 0 to n - 1 do
+      let c = (cell_iy s ys.(p) * s.nx) + cell_ix s xs.(p) in
+      counts.(c) <- counts.(c) + 1
+    done;
+    let off = ref 0 in
+    for c = 0 to ncells - 1 do
+      s.cell_off.(c) <- !off;
+      off := !off + counts.(c)
+    done;
+    s.cell_off.(ncells) <- !off;
+    let cursor = Array.copy s.cell_off in
+    for p = 0 to n - 1 do
+      let c = (cell_iy s ys.(p) * s.nx) + cell_ix s xs.(p) in
+      s.cell_pts.(cursor.(c)) <- p;
+      cursor.(c) <- cursor.(c) + 1
     done;
     Some s
   end
@@ -97,16 +132,28 @@ let axis_range ~torus ~lo:axis_min ~cellsz ~ncells c r =
           let i = (i0 + k) mod ncells in
           if i < 0 then i + ncells else i)
 
-(* Every point index whose cell intersects the axis-aligned square of
-   half-width [r] around point [p]: a superset of the ball of radius [r]
-   in both the planar and wrapped metrics. *)
-let candidates s p r =
-  let x, y = s.pts.(p) in
-  let xs = axis_range ~torus:s.torus ~lo:s.minx ~cellsz:s.cellw ~ncells:s.nx x r in
-  let ys = axis_range ~torus:s.torus ~lo:s.miny ~cellsz:s.cellh ~ncells:s.ny y r in
-  List.concat_map
-    (fun iy -> List.concat_map (fun ix -> s.cells.((iy * s.nx) + ix)) xs)
-    ys
+(* Visit every point index whose cell intersects the axis-aligned square of
+   half-width [r] around point [p]: a superset of the ball of radius [r] in
+   both the planar and wrapped metrics.  Cells are visited at most once
+   (axis ranges are duplicate-free), so each point is seen at most once. *)
+let iter_candidates s p r f =
+  let x = s.xs.(p) and y = s.ys.(p) in
+  let xrange =
+    axis_range ~torus:s.torus ~lo:s.minx ~cellsz:s.cellw ~ncells:s.nx x r
+  in
+  let yrange =
+    axis_range ~torus:s.torus ~lo:s.miny ~cellsz:s.cellh ~ncells:s.ny y r
+  in
+  List.iter
+    (fun iy ->
+      List.iter
+        (fun ix ->
+          let c = (iy * s.nx) + ix in
+          for i = s.cell_off.(c) to s.cell_off.(c + 1) - 1 do
+            f s.cell_pts.(i)
+          done)
+        xrange)
+    yrange
 
 (* --- constructors --- *)
 
@@ -126,7 +173,7 @@ let of_points pts =
     size = Array.length pts;
     desc = "euclidean-2d";
     dist;
-    spatial = build_spatial pts;
+    spatial = build_spatial ~xs ~ys ();
   }
 
 let of_points_torus ~side pts =
@@ -143,7 +190,7 @@ let of_points_torus ~side pts =
     size = Array.length pts;
     desc = "euclidean-torus";
     dist;
-    spatial = build_spatial ~torus:side pts;
+    spatial = build_spatial ~torus:side ~xs ~ys ();
   }
 
 let of_matrix m =
@@ -157,6 +204,33 @@ let desc m = m.desc
 let dist m i j = m.dist i j
 
 let indexed m = Option.is_some m.spatial
+
+(* --- index maintenance --- *)
+
+let index_granularity m =
+  match m.spatial with None -> None | Some s -> Some s.nx
+
+let set_index_granularity m ~per_axis =
+  match m.spatial with
+  | None -> ()
+  | Some s ->
+      m.spatial <- build_spatial ?torus:s.torus ~per_axis ~xs:s.xs ~ys:s.ys ()
+
+let rescale_index m =
+  match m.spatial with
+  | None -> false
+  | Some s ->
+      let ideal = ideal_per_axis m.size in
+      (* A 2x-off axis count means 4x-off cell occupancy: candidate scans
+         degrade toward linear (too coarse) or cell walks dominate (too
+         fine).  Within 2x the grid is fine — rebuilding on every call
+         would thrash. *)
+      if s.nx * 2 <= ideal || s.nx >= ideal * 2 then begin
+        m.spatial <-
+          build_spatial ?torus:s.torus ~per_axis:ideal ~xs:s.xs ~ys:s.ys ();
+        true
+      end
+      else false
 
 (* --- brute-force oracles (also the fallback for non-point metrics) --- *)
 
@@ -207,18 +281,19 @@ let ball m p r =
   match m.spatial with
   | None -> ball_brute m p r
   | Some s ->
-      candidates s p r
-      |> List.filter (fun q -> m.dist p q <= r)
-      |> List.sort_uniq Int.compare
+      let acc = ref [] in
+      iter_candidates s p r (fun q -> if m.dist p q <= r then acc := q :: !acc);
+      (* candidates are unique (one cell per point); sort for the
+         ascending-order contract *)
+      List.sort Int.compare !acc
 
 let ball_count m p r =
   match m.spatial with
   | None -> ball_count_brute m p r
   | Some s ->
-      List.fold_left
-        (fun acc q -> if m.dist p q <= r then acc + 1 else acc)
-        0
-        (List.sort_uniq Int.compare (candidates s p r))
+      let c = ref 0 in
+      iter_candidates s p r (fun q -> if m.dist p q <= r then incr c);
+      !c
 
 (* Radius-doubling around the grid cell size: once a ball is non-empty it
    contains the true nearest point, so total work is O(|final ball|). *)
@@ -228,27 +303,24 @@ let nearest_other m p =
   | Some s ->
       if m.size <= 1 then None
       else begin
-        let pick within =
-          (* ascending index + strict < reproduces the brute tie-break *)
-          let best = ref None and best_d = ref infinity in
-          List.iter
-            (fun q ->
+        let pick r =
+          (* lexicographic (distance, index) minimum = the brute scan's
+             ascending-index strict-< tie-break *)
+          let best = ref (-1) and best_d = ref infinity in
+          iter_candidates s p r (fun q ->
               if q <> p then begin
                 let d = m.dist p q in
-                if d < !best_d then begin
-                  best := Some q;
-                  best_d := d
-                end
-              end)
-            within;
-          !best
+                if d <= r then
+                  if d < !best_d || (d = !best_d && q < !best) then begin
+                    best := q;
+                    best_d := d
+                  end
+              end);
+          if !best < 0 then None else Some !best
         in
         let rec go r =
-          if r >= s.cover then pick (ball m p s.cover)
-          else
-            match pick (ball m p r) with
-            | Some q -> Some q
-            | None -> go (2. *. r)
+          if r >= s.cover then pick s.cover
+          else match pick r with Some q -> Some q | None -> go (2. *. r)
         in
         go (0.5 *. min s.cellw s.cellh)
       end
@@ -305,3 +377,21 @@ let expansion_estimate m ~samples ~rng =
     end
   done;
   !worst
+
+let word = 8
+
+(* Resident-size estimate: coordinate arrays (shared with the dist
+   closure) plus the CSR index.  Matrix metrics count their full matrix. *)
+let approx_bytes m =
+  match m.spatial with
+  | None ->
+      if m.desc = "matrix" then
+        (* n rows of n unboxed floats plus the spine *)
+        (m.size * (m.size + 1) * word) + ((m.size + 1) * word) + (4 * word)
+      else 4 * word
+  | Some s ->
+      (4 * word)
+      + (2 * (Array.length s.xs + 1) * word)
+      + ((Array.length s.cell_off + 1) * word)
+      + ((Array.length s.cell_pts + 1) * word)
+      + (13 * word)

@@ -39,6 +39,22 @@ val dist : t -> int -> int -> float
 val indexed : t -> bool
 (** Does this metric carry a spatial index (point-based constructors)? *)
 
+val index_granularity : t -> int option
+(** Cells per axis of the current grid index, [None] when unindexed. *)
+
+val set_index_granularity : t -> per_axis:int -> unit
+(** Rebuild the grid index at an explicit granularity (no-op when
+    unindexed).  Query results are granularity-independent — only the
+    constant factors move; tests use this to fabricate a mis-sized grid. *)
+
+val rescale_index : t -> bool
+(** Rebuild the grid index if its cell occupancy has drifted at least 2x
+    from the sqrt(n)-cells-per-axis ideal — the guard callers run before a
+    query-heavy phase when the index may have been built under a different
+    density assumption.  Returns whether a rebuild happened.  Queries are
+    exact either way; an oversized cell population only costs time.  Not
+    safe concurrently with queries (it swaps the index in place). *)
+
 val ball : t -> int -> float -> int list
 (** [ball m p r] is every point within distance [r] of [p] (including [p]),
     in ascending index order.  O(|ball|) on indexed metrics, O(size)
@@ -75,3 +91,7 @@ val diameter : t -> sample:int -> rng:Rng.t -> float
 val expansion_estimate : t -> samples:int -> rng:Rng.t -> float
 (** Empirical expansion constant: max over sampled (point, radius) pairs of
     [|B(2r)|/|B(r)|], ignoring balls that already cover the space. *)
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of the metric (coordinate arrays + CSR grid
+    index, or the full matrix).  Feeds the scale-tier memory gauge. *)

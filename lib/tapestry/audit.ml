@@ -42,6 +42,7 @@ type violation =
       root_idx : int;
       expires : float;
     }
+  | Footprint_excess of { total_bytes : int; budget_bytes : int }
 
 type report = {
   nodes_audited : int;
@@ -60,6 +61,7 @@ let violation_code = function
   | Stale_backpointer _ -> "stale-backpointer"
   | Missing_owner _ -> "missing-owner"
   | Expired_pointer _ -> "expired-pointer"
+  | Footprint_excess _ -> "footprint-excess"
 
 let is_clean r = match r.violations with [] -> true | _ :: _ -> false
 
@@ -109,6 +111,11 @@ let pp_violation ppf v =
         "expired-pointer: %s still stores pointer (%s, %s, root %d) expired \
          at %.2f (soft state, Section 2.2)"
         (id node) (id guid) (id server) root_idx expires
+  | Footprint_excess { total_bytes; budget_bytes } ->
+      Format.fprintf ppf
+        "footprint-excess: estimated resident size %d B exceeds the \
+         O(n log n) budget %d B (Table 1 space bound)"
+        total_bytes budget_bytes
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -124,11 +131,34 @@ let contains_id entries target =
     (fun (e : Routing_table.entry) -> Node_id.equal e.Routing_table.id target)
     entries
 
+(* Space sanity: the paper's Table 1 space bound is O(log² n) pointers per
+   node, i.e. O(n log n) words beyond the fixed b·R·log_b(N) slot arrays
+   every table carries.  The budget charges each node its empty-table cost
+   plus a per-node O(log n) allowance for entries/backpointers/trie growth,
+   with 2x slack — generous enough never to trip on a healthy mesh at any
+   n, tight enough to catch superlinear-per-node regressions (e.g. a
+   backpointer leak). *)
+let footprint_budget net =
+  let cfg = net.Network.config in
+  let n = max 2 (Network.node_count net) in
+  let word = 8 in
+  let cells = cfg.Config.id_digits * cfg.Config.base in
+  let empty_table =
+    ((cells * cfg.Config.redundancy * 3) + (2 * cells)
+    + (20 * cfg.Config.id_digits) + 80)
+    * word
+  in
+  let trie_chain = 2 * cfg.Config.id_digits * (cfg.Config.base + 8) * word in
+  let per_node_fixed = empty_table + trie_chain + 1024 in
+  let log2n = log (float_of_int n) /. log 2. in
+  let per_node_log = 512. *. log2n in
+  int_of_float
+    (float_of_int n *. (float_of_int per_node_fixed +. per_node_log) *. 2.)
+  + Simnet.Metric.approx_bytes net.Network.metric
+
 let run net =
   Network.without_charging net (fun () ->
       let cfg = net.Network.config in
-      let alive = Network.alive_nodes net in
-      let core = Network.core_nodes net in
       let violations = ref [] in
       let entries_checked = ref 0 in
       let holes_certified = ref 0 in
@@ -139,34 +169,35 @@ let run net =
       (* The network maintains the core trie incrementally; auditing reads
          it rather than rebuilding, which also exercises its consistency. *)
       let core_index = net.Network.core_index in
-      List.iter
-        (fun (n : Node.t) ->
-          let prefix = Node_id.digits n.Node.id in
-          for level = 0 to cfg.Config.id_digits - 1 do
-            for digit = 0 to cfg.Config.base - 1 do
-              if Routing_table.is_hole n.Node.table ~level ~digit then begin
-                if
-                  Id_index.exists_extension core_index ~prefix ~len:level
-                    ~digit
-                then begin
-                  let witness =
-                    Id_index.ids_with_prefix core_index ~prefix ~len:level
-                    |> List.find (fun id -> Node_id.digit id level = digit)
-                  in
-                  add
-                    (Uncertified_hole
-                       { node = n.Node.id; level; digit; witness })
+      (* Worklists are handle iterations, not materialized lists: at
+         10^5..10^6 nodes the audit passes allocate nothing per node. *)
+      Network.iter_alive net (fun (n : Node.t) ->
+          if Node.is_core n then begin
+            let prefix = Node_id.digits n.Node.id in
+            for level = 0 to cfg.Config.id_digits - 1 do
+              for digit = 0 to cfg.Config.base - 1 do
+                if Routing_table.is_hole n.Node.table ~level ~digit then begin
+                  if
+                    Id_index.exists_extension core_index ~prefix ~len:level
+                      ~digit
+                  then begin
+                    let witness =
+                      Id_index.ids_with_prefix core_index ~prefix ~len:level
+                      |> List.find (fun id -> Node_id.digit id level = digit)
+                    in
+                    add
+                      (Uncertified_hole
+                         { node = n.Node.id; level; digit; witness })
+                  end
+                  else incr holes_certified
                 end
-                else incr holes_certified
-              end
+              done
             done
-          done)
-        core;
+          end);
       (* Per-slot structure for every alive node: entries belong to the
          slot, are ordered by distance (Property 2: closest is primary),
          point at live nodes, and are backpointed (Section 2.1). *)
-      List.iter
-        (fun (n : Node.t) ->
+      Network.iter_alive net (fun (n : Node.t) ->
           let table = n.Node.table in
           let owner = n.Node.id in
           for level = 0 to Routing_table.levels table - 1 do
@@ -230,12 +261,10 @@ let run net =
                    (Routing_table.slot table ~level ~digit:own_digit)
                    owner)
             then add (Missing_owner { node = owner; level })
-          done)
-        alive;
+          done);
       (* Backpointer reverse direction: every backpointer's source still
          holds the node. *)
-      List.iter
-        (fun (b : Node.t) ->
+      Network.iter_alive net (fun (b : Node.t) ->
           List.iter
             (fun (level, src) ->
               let holds =
@@ -251,12 +280,10 @@ let run net =
                 add
                   (Stale_backpointer
                      { node = b.Node.id; level; source = src }))
-            (Routing_table.all_backpointers b.Node.table))
-        alive;
+            (Routing_table.all_backpointers b.Node.table));
       (* Pointer-store expiry consistency: at a quiescent point no node may
          still hold a pointer past its expiry (soft state, Section 2.2). *)
-      List.iter
-        (fun (n : Node.t) ->
+      Network.iter_alive net (fun (n : Node.t) ->
           List.iter
             (fun (r : Pointer_store.record) ->
               if r.Pointer_store.expires < net.Network.clock then
@@ -269,10 +296,16 @@ let run net =
                        root_idx = r.Pointer_store.root_idx;
                        expires = r.Pointer_store.expires;
                      }))
-            (Pointer_store.records n.Node.pointers))
-        alive;
+            (Pointer_store.records n.Node.pointers));
+      (* Space bound: estimated residency within the O(n log n) budget. *)
+      let fp = Network.memory_footprint net in
+      let budget = footprint_budget net in
+      if fp.Network.total_bytes > budget then
+        add
+          (Footprint_excess
+             { total_bytes = fp.Network.total_bytes; budget_bytes = budget });
       {
-        nodes_audited = List.length alive;
+        nodes_audited = Network.node_count net;
         entries_checked = !entries_checked;
         holes_certified = !holes_certified;
         violations = List.rev !violations;

@@ -67,6 +67,10 @@ type violation =
       root_idx : int;
       expires : float;
     }
+  | Footprint_excess of { total_bytes : int; budget_bytes : int }
+      (** {!Network.memory_footprint} exceeds the O(n log n) space budget
+          (Table 1): per-node fixed table cost plus an O(log n) allowance,
+          2x slack.  Trips on superlinear-per-node regressions. *)
 
 type report = {
   nodes_audited : int;

@@ -8,6 +8,7 @@ type t = {
   pointer_ttl : float;
   republish_interval : float;
   digit_bits : int;
+  expected_nodes : int;
 }
 
 let bits_of_base base =
@@ -25,6 +26,7 @@ let default =
     pointer_ttl = 300.;
     republish_interval = 100.;
     digit_bits = 4;
+    expected_nodes = 0;
   }
 
 let normalize t = { t with digit_bits = bits_of_base t.base }
@@ -39,7 +41,15 @@ let validate t =
   else if t.k_list < 1 then Error "k_list must be >= 1"
   else if t.root_set_size < 1 then Error "root_set_size must be >= 1"
   else if t.pointer_ttl <= 0. then Error "pointer_ttl must be positive"
+  else if t.expected_nodes < 0 then Error "expected_nodes must be >= 0"
   else Ok ()
+
+(* Directory-table capacity hint: the expected population when declared,
+   otherwise a small default that keeps ad-hoc networks cheap.  Stdlib
+   hashtables resize by doubling, so any positive hint only trims the
+   rehash cascade — it never changes observable behavior. *)
+let table_capacity ?(floor = 64) t =
+  if t.expected_nodes > 0 then max floor t.expected_nodes else floor
 
 let scaled_k t ~n =
   if t.k_fixed then t.k_list

@@ -21,6 +21,11 @@ type t = {
           recounts it per hop.  Derived: {!Network.create} re-derives it via
           {!normalize}, so [{ default with base }] updates need not (and
           should not) set it by hand. *)
+  expected_nodes : int;
+      (** Expected final population (0 = unknown).  A capacity hint only:
+          directory hashtables, the node arena and the alive array are
+          pre-sized from it so bulk construction never pays a rehash/copy
+          storm.  Never affects results — only allocation behavior. *)
 }
 
 val default : t
@@ -33,6 +38,10 @@ val normalize : t -> t
 (** Recompute the derived [digit_bits] field from [base]. *)
 
 val validate : t -> (unit, string) result
+
+val table_capacity : ?floor:int -> t -> int
+(** Initial-capacity hint for population-keyed hashtables: [expected_nodes]
+    when declared (clamped up to [floor], default 64), else [floor]. *)
 
 val scaled_k : t -> n:int -> int
 (** [k] scaled to max(k_list, 4 ceil(log2 n)) — the O(log n) choice the

@@ -104,3 +104,21 @@ let exists_extension t ~prefix ~len ~digit =
   match find_prefix t ~prefix ~len with
   | None -> false
   | Some n -> Option.is_some n.children.(digit)
+
+let word = 8
+
+(* Resident-size estimate: each trie node is a 4-word record plus a
+   [base+1]-word children array plus a 3-word cons per terminal id (the ids
+   themselves are shared with the node directory and counted there). *)
+let approx_bytes t =
+  let rec go n acc =
+    let acc =
+      acc + (4 * word)
+      + ((Array.length n.children + 1) * word)
+      + (3 * word * List.length n.terminal)
+    in
+    Array.fold_left
+      (fun acc c -> match c with None -> acc | Some c -> go c acc)
+      acc n.children
+  in
+  (3 * word) + go t.root 0

@@ -27,3 +27,8 @@ val count_with_prefix : t -> prefix:int array -> len:int -> int
 val exists_extension : t -> prefix:int array -> len:int -> digit:int -> bool
 (** Is there a stored ID whose first [len] digits are [prefix] and whose
     next digit is [digit]? Exactly the "hole" oracle of Property 1. *)
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of the trie (nodes, children arrays, terminal
+    conses; shared ids excluded).  O(trie size); feeds
+    {!Network.memory_footprint}. *)

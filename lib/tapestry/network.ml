@@ -31,17 +31,21 @@ let create ?(seed = 42) config metric =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Network.create: " ^ msg));
+  (* Directory tables are sized for the declared population up front: at
+     10^6 nodes the doubling cascade otherwise rehashes every key ~14
+     times and transiently holds three copies of the bucket array. *)
+  let cap = Config.table_capacity config in
   {
     config = Config.normalize config;
     metric;
-    nodes = Node_id.Tbl.create 64;
+    nodes = Node_id.Tbl.create cap;
     index = Id_index.create ~base:config.base;
     core_index = Id_index.create ~base:config.base;
     arena = [||];
     arena_len = 0;
     alive_arr = [||];
     alive_len = 0;
-    alive_slot = Node_id.Tbl.create 64;
+    alive_slot = Node_id.Tbl.create cap;
     salts = Salt_tbl.create 64;
     scratch = Scratch.create ();
     rng = Simnet.Rng.create seed;
@@ -94,7 +98,11 @@ let find_exn t id =
 
 let push_arena t (node : Node.t) =
   if t.arena_len = Array.length t.arena then begin
-    let cap = max 8 (2 * Array.length t.arena) in
+    (* First growth jumps straight to the declared capacity (the arrays
+       need a witness element, so they cannot be pre-filled in [create]). *)
+    let cap =
+      max (Config.table_capacity ~floor:8 t.config) (2 * Array.length t.arena)
+    in
     let arr = Array.make cap node in
     Array.blit t.arena 0 arr 0 t.arena_len;
     t.arena <- arr
@@ -108,7 +116,11 @@ let push_arena t (node : Node.t) =
 
 let push_alive t (node : Node.t) =
   if t.alive_len = Array.length t.alive_arr then begin
-    let cap = max 8 (2 * Array.length t.alive_arr) in
+    let cap =
+      max
+        (Config.table_capacity ~floor:8 t.config)
+        (2 * Array.length t.alive_arr)
+    in
     let arr = Array.make cap node in
     Array.blit t.alive_arr 0 arr 0 t.alive_len;
     t.alive_arr <- arr
@@ -172,6 +184,19 @@ let begin_leaving _t (node : Node.t) =
       invalid_arg "Network.begin_leaving: node is not active"
 
 let alive_nodes t = Array.to_list (Array.sub t.alive_arr 0 t.alive_len)
+
+(* Worklist-free traversals: the scale tier audits and sweeps 10^5..10^6
+   nodes, where materializing [alive_nodes] would allocate a cons per
+   node per pass. *)
+let iter_alive t f =
+  for i = 0 to t.alive_len - 1 do
+    f t.alive_arr.(i)
+  done
+
+let iter_registered t f =
+  for h = 0 to t.arena_len - 1 do
+    f t.arena.(h)
+  done
 
 let core_nodes t =
   Id_index.ids_with_prefix t.core_index ~prefix:[||] ~len:0
@@ -337,6 +362,64 @@ let true_nearest_neighbor t (node : Node.t) =
     end
   done;
   !best
+
+(* --- resident-size accounting (estimates; see DESIGN.md §8.8) --- *)
+
+type footprint = {
+  node_bytes : int;
+  table_bytes : int;
+  pointer_bytes : int;
+  directory_bytes : int;
+  index_bytes : int;
+  metric_bytes : int;
+  scratch_bytes : int;
+  total_bytes : int;
+}
+
+let word = 8
+
+let tbl_bytes ~len ~binding_words =
+  ((5 + 1 + max 16 len) * word) + (len * (3 + binding_words) * word)
+
+let memory_footprint t =
+  let cfg = t.config in
+  let id_words = 3 + cfg.Config.id_digits + 1 in
+  let node_bytes = ref 0 and table_bytes = ref 0 and pointer_bytes = ref 0 in
+  iter_registered t (fun (n : Node.t) ->
+      let replicas = Node_id.Tbl.length n.replicas in
+      node_bytes :=
+        !node_bytes
+        + ((9 + id_words) * word)
+        + tbl_bytes ~len:replicas ~binding_words:0
+        + (match n.surrogate_hint with Some _ -> 2 * word | None -> 0);
+      table_bytes := !table_bytes + Routing_table.approx_bytes n.table;
+      pointer_bytes := !pointer_bytes + Pointer_store.approx_bytes n.pointers);
+  let directory_bytes =
+    tbl_bytes ~len:(Node_id.Tbl.length t.nodes) ~binding_words:1
+    + tbl_bytes ~len:(Node_id.Tbl.length t.alive_slot) ~binding_words:1
+    + ((Array.length t.arena + 1) * word)
+    + ((Array.length t.alive_arr + 1) * word)
+    + tbl_bytes ~len:(Salt_tbl.length t.salts) ~binding_words:(3 + id_words)
+  in
+  let index_bytes =
+    Id_index.approx_bytes t.index + Id_index.approx_bytes t.core_index
+  in
+  let metric_bytes = Simnet.Metric.approx_bytes t.metric in
+  let scratch_bytes = Scratch.approx_bytes t.scratch in
+  let total_bytes =
+    !node_bytes + !table_bytes + !pointer_bytes + directory_bytes + index_bytes
+    + metric_bytes + scratch_bytes
+  in
+  {
+    node_bytes = !node_bytes;
+    table_bytes = !table_bytes;
+    pointer_bytes = !pointer_bytes;
+    directory_bytes;
+    index_bytes;
+    metric_bytes;
+    scratch_bytes;
+    total_bytes;
+  }
 
 let surrogate_oracle t guid =
   (* Digit-by-digit refinement with wrap-around among core nodes, answered

@@ -103,6 +103,13 @@ val alive_nodes : t -> Node.t list
 (** All alive nodes, O(alive); order is the dense-array order (insertion
     order perturbed by swap-removes), not id order. *)
 
+val iter_alive : t -> (Node.t -> unit) -> unit
+(** Visit every alive node in dense-array order without materializing the
+    list — the worklist-free form audits and sweeps use at 10^5+ nodes. *)
+
+val iter_registered : t -> (Node.t -> unit) -> unit
+(** Visit every registered node (alive or dead) in arena-handle order. *)
+
 val core_nodes : t -> Node.t list
 (** All core ([Active]/[Leaving]) nodes, in id (trie) order. *)
 
@@ -145,6 +152,29 @@ val check_property2 : t -> total:int ref -> optimal:int ref -> unit
 
 val true_nearest_neighbor : t -> Node.t -> Node.t option
 (** Brute-force closest other alive node (oracle for E3). *)
+
+(** {2 Resident-size accounting}
+
+    Arithmetic estimates of heap residency by subsystem (word = 8 bytes;
+    shared [Node_id.t] values are counted once, with the node that owns
+    them).  Not GC truth — a budget gauge for the scale tier and the audit
+    footprint check; see DESIGN.md §8.8 for the model. *)
+
+type footprint = {
+  node_bytes : int;  (** node records, ids, replica sets *)
+  table_bytes : int;  (** packed routing tables + backpointer tables *)
+  pointer_bytes : int;  (** per-node pointer stores *)
+  directory_bytes : int;  (** directory/alive tables, arena, salt cache *)
+  index_bytes : int;  (** the two id tries *)
+  metric_bytes : int;  (** coordinates + spatial index (or matrix) *)
+  scratch_bytes : int;  (** reusable insertion buffers *)
+  total_bytes : int;
+}
+
+val memory_footprint : t -> footprint
+(** O(n) sweep over the arena plus an O(trie) walk; allocation-light.
+    Used by the scale tier's bytes-per-node gauge and {!Audit}'s
+    O(n log n) footprint sanity check. *)
 
 val surrogate_oracle : t -> Node_id.t -> Node.t
 (** The root {!Route.route_to_root} must find, computed from global

@@ -20,19 +20,35 @@ module Tbl = Hashtbl.Make (Key)
 (* [by_guid] is a secondary index for the O(1) existence probe on the
    locate hot path.  Its per-guid list order is arbitrary and must never
    leak into record materialization: [find_guid] keeps answering from the
-   primary table so distance tie-breaking downstream is unchanged. *)
-type t = { recs : record Tbl.t; by_guid : record list Node_id.Tbl.t }
+   primary table so distance tie-breaking downstream is unchanged.
 
-let create () = { recs = Tbl.create 16; by_guid = Node_id.Tbl.create 16 }
+   The two tables are allocated lazily, on the first [store]: every node
+   owns a pointer store but in a large mesh only the O(objects * log n)
+   nodes on publish paths ever hold a record, so the empty representation
+   must cost words, not hashtable buckets (at 10^6 nodes the eager pair of
+   16-bucket tables was ~350 MB of empty buckets). *)
+type tables = { recs : record Tbl.t; by_guid : record list Node_id.Tbl.t }
 
-let index_add t (r : record) =
+type t = { mutable tables : tables option }
+
+let create () = { tables = None }
+
+let force t =
+  match t.tables with
+  | Some tb -> tb
+  | None ->
+      let tb = { recs = Tbl.create 8; by_guid = Node_id.Tbl.create 8 } in
+      t.tables <- Some tb;
+      tb
+
+let index_add tb (r : record) =
   let cur =
-    match Node_id.Tbl.find_opt t.by_guid r.guid with Some l -> l | None -> []
+    match Node_id.Tbl.find_opt tb.by_guid r.guid with Some l -> l | None -> []
   in
-  Node_id.Tbl.replace t.by_guid r.guid (r :: cur)
+  Node_id.Tbl.replace tb.by_guid r.guid (r :: cur)
 
-let index_remove t ~guid ~server ~root_idx =
-  match Node_id.Tbl.find_opt t.by_guid guid with
+let index_remove tb ~guid ~server ~root_idx =
+  match Node_id.Tbl.find_opt tb.by_guid guid with
   | None -> ()
   | Some l -> (
       let l =
@@ -42,11 +58,12 @@ let index_remove t ~guid ~server ~root_idx =
           l
       in
       match l with
-      | [] -> Node_id.Tbl.remove t.by_guid guid
-      | _ :: _ -> Node_id.Tbl.replace t.by_guid guid l)
+      | [] -> Node_id.Tbl.remove tb.by_guid guid
+      | _ :: _ -> Node_id.Tbl.replace tb.by_guid guid l)
 
 let store t ~guid ~server ~root_idx ~previous ~expires =
-  match Tbl.find_opt t.recs (guid, server, root_idx) with
+  let tb = force t in
+  match Tbl.find_opt tb.recs (guid, server, root_idx) with
   | Some r ->
       let old = r.previous in
       r.previous <- previous;
@@ -54,69 +71,121 @@ let store t ~guid ~server ~root_idx ~previous ~expires =
       `Refreshed old
   | None ->
       let r = { guid; server; root_idx; previous; expires } in
-      Tbl.replace t.recs (guid, server, root_idx) r;
-      index_add t r;
+      Tbl.replace tb.recs (guid, server, root_idx) r;
+      index_add tb r;
       `New
 
-let find t ~guid ~server ~root_idx = Tbl.find_opt t.recs (guid, server, root_idx)
+let find t ~guid ~server ~root_idx =
+  match t.tables with
+  | None -> None
+  | Some tb -> Tbl.find_opt tb.recs (guid, server, root_idx)
 
 let find_guid t guid =
-  Tbl.fold
-    (fun (g, _, _) r acc -> if Node_id.equal g guid then r :: acc else acc)
-    t.recs []
+  match t.tables with
+  | None -> []
+  | Some tb ->
+      Tbl.fold
+        (fun (g, _, _) r acc -> if Node_id.equal g guid then r :: acc else acc)
+        tb.recs []
 
 let mem_guid t guid =
-  try
-    Tbl.iter (fun (g, _, _) _ -> if Node_id.equal g guid then raise Exit) t.recs;
-    false
-  with Exit -> true
+  match t.tables with
+  | None -> false
+  | Some tb -> (
+      try
+        Tbl.iter
+          (fun (g, _, _) _ -> if Node_id.equal g guid then raise Exit)
+          tb.recs;
+        false
+      with Exit -> true)
 
 let exists_guid_match t guid ~f =
-  Tbl.length t.recs > 0
-  &&
-  match Node_id.Tbl.find_opt t.by_guid guid with
+  match t.tables with
   | None -> false
-  | Some l -> List.exists f l
+  | Some tb -> (
+      Tbl.length tb.recs > 0
+      &&
+      match Node_id.Tbl.find_opt tb.by_guid guid with
+      | None -> false
+      | Some l -> List.exists f l)
 
 let remove t ~guid ~server ~root_idx =
-  if Tbl.mem t.recs (guid, server, root_idx) then begin
-    Tbl.remove t.recs (guid, server, root_idx);
-    index_remove t ~guid ~server ~root_idx;
-    true
-  end
-  else false
+  match t.tables with
+  | None -> false
+  | Some tb ->
+      if Tbl.mem tb.recs (guid, server, root_idx) then begin
+        Tbl.remove tb.recs (guid, server, root_idx);
+        index_remove tb ~guid ~server ~root_idx;
+        true
+      end
+      else false
 
 let remove_guid t guid =
-  let victims =
-    Tbl.fold
-      (fun (g, s, r) _ acc -> if Node_id.equal g guid then (g, s, r) :: acc else acc)
-      t.recs []
-  in
-  List.iter
-    (fun (g, s, r) ->
-      Tbl.remove t.recs (g, s, r);
-      index_remove t ~guid:g ~server:s ~root_idx:r)
-    victims;
-  List.length victims
+  match t.tables with
+  | None -> 0
+  | Some tb ->
+      let victims =
+        Tbl.fold
+          (fun (g, s, r) _ acc ->
+            if Node_id.equal g guid then (g, s, r) :: acc else acc)
+          tb.recs []
+      in
+      List.iter
+        (fun (g, s, r) ->
+          Tbl.remove tb.recs (g, s, r);
+          index_remove tb ~guid:g ~server:s ~root_idx:r)
+        victims;
+      List.length victims
 
 let guids t =
-  let seen = Node_id.Tbl.create 16 in
-  Tbl.iter (fun (g, _, _) _ -> Node_id.Tbl.replace seen g ()) t.recs;
-  Node_id.Tbl.fold (fun g () acc -> g :: acc) seen []
+  match t.tables with
+  | None -> []
+  | Some tb ->
+      let seen = Node_id.Tbl.create 16 in
+      Tbl.iter (fun (g, _, _) _ -> Node_id.Tbl.replace seen g ()) tb.recs;
+      Node_id.Tbl.fold (fun g () acc -> g :: acc) seen []
 
-let records t = Tbl.fold (fun _ r acc -> r :: acc) t.recs []
+let records t =
+  match t.tables with
+  | None -> []
+  | Some tb -> Tbl.fold (fun _ r acc -> r :: acc) tb.recs []
 
-let size t = Tbl.length t.recs
+let size t = match t.tables with None -> 0 | Some tb -> Tbl.length tb.recs
 
 let expire t ~now =
-  let victims =
-    Tbl.fold
-      (fun key r acc -> if r.expires < now then key :: acc else acc)
-      t.recs []
-  in
-  List.iter
-    (fun ((g, s, r) as key) ->
-      Tbl.remove t.recs key;
-      index_remove t ~guid:g ~server:s ~root_idx:r)
-    victims;
-  List.length victims
+  match t.tables with
+  | None -> 0
+  | Some tb ->
+      let victims =
+        Tbl.fold
+          (fun key r acc -> if r.expires < now then key :: acc else acc)
+          tb.recs []
+      in
+      List.iter
+        (fun ((g, s, r) as key) ->
+          Tbl.remove tb.recs key;
+          index_remove tb ~guid:g ~server:s ~root_idx:r)
+        victims;
+      List.length victims
+
+let word = 8
+
+(* Resident-size estimate.  Stdlib hashtables are a 5-word record plus a
+   bucket array (at least 16 slots once forced) holding 4-word cons cells
+   per binding; record payloads are 7 words (6 fields + header).  The
+   by_guid index adds a 3-word cons per record plus one binding per
+   distinct guid.  An estimate, not an accounting — used by
+   {!Network.memory_footprint} and the scale-tier bytes-per-node gauge. *)
+let approx_bytes t =
+  match t.tables with
+  | None -> 2 * word
+  | Some tb ->
+      let tbl_overhead len = ((5 + 1 + max 16 len) * word) in
+      let n = Tbl.length tb.recs in
+      let guids = Node_id.Tbl.length tb.by_guid in
+      (2 * word)
+      + tbl_overhead n
+      + (n * (4 + 7) * word)
+      + tbl_overhead guids
+      + (guids * 4 * word)
+      + (n * 3 * word)

@@ -17,6 +17,9 @@ type record = {
 type t
 
 val create : unit -> t
+(** A fresh, empty store.  Costs a couple of words until the first
+    {!store}: the internal tables are allocated lazily, so the 10^6 idle
+    stores of a scale-tier mesh stay cheap. *)
 
 val store : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int ->
   previous:Node_id.t option -> expires:float ->
@@ -49,3 +52,7 @@ val size : t -> int
 
 val expire : t -> now:float -> int
 (** Drop records whose expiry passed; returns how many were dropped. *)
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of this store (tables, records, index) — an
+    arithmetic model, not GC truth.  Feeds {!Network.memory_footprint}. *)

@@ -309,6 +309,53 @@ let entry_count t =
       if not (Node_id.equal e.id t.owner) then incr c);
   !c
 
+(* Packed [entry_count]: read the parallel arrays directly instead of
+   materializing per-slot lists — the scale-tier sweep calls this once per
+   node over 10^5..10^6 tables. *)
+let entry_count_packed t =
+  let c = ref 0 in
+  for cell = 0 to (t.levels * t.base) - 1 do
+    let off = cell * t.redundancy in
+    for k = 0 to t.lens.(cell) - 1 do
+      if not (Node_id.equal t.ids.(off + k) t.owner) then incr c
+    done
+  done;
+  !c
+
+let backpointer_count t =
+  let c = ref 0 in
+  for level = 0 to t.levels - 1 do
+    c := !c + Node_id.Tbl.length t.backs.(level)
+  done;
+  !c
+
+let word = 8
+
+(* Resident-size estimate of one table: the packed parallel arrays are
+   exact (capacity is fixed at creation); the per-level backpointer tables
+   are modeled as stdlib hashtables (5-word record + bucket array + 4-word
+   cons per binding).  IDs are shared with the owning nodes and counted
+   once, by {!Network.memory_footprint}, not here. *)
+let approx_bytes t =
+  let arr len = (len + 1) * word in
+  let fixed =
+    (11 * word)
+    + arr (Array.length t.ids)
+    + arr (Array.length t.handles)
+    + arr (Array.length t.dists)
+    + arr (Array.length t.lens)
+    + arr (Array.length t.filled)
+    + arr (Array.length t.backs)
+  in
+  let backs =
+    Array.fold_left
+      (fun acc tbl ->
+        let n = Node_id.Tbl.length tbl in
+        acc + ((5 + 1 + max 8 n) * word) + (n * 4 * word))
+      0 t.backs
+  in
+  fixed + backs
+
 let holes t =
   let acc = ref [] in
   for level = t.levels - 1 downto 0 do

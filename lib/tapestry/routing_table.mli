@@ -111,6 +111,17 @@ val entry_count : t -> int
 (** Total neighbor entries excluding the owner's self entries (space
     accounting for Table 1). *)
 
+val entry_count_packed : t -> int
+(** Same count as {!entry_count}, read straight off the packed arrays with
+    no per-slot list build — the scale-tier per-node sweep. *)
+
+val backpointer_count : t -> int
+(** Total backpointers registered across all levels, O(levels). *)
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of this table (packed arrays + backpointer
+    tables; shared IDs excluded).  Feeds {!Network.memory_footprint}. *)
+
 val holes : t -> (int * int) list
 (** All empty slots as [(level, digit)] pairs. *)
 

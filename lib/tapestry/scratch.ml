@@ -102,3 +102,11 @@ let set_cur t src len =
   if len > Array.length t.cur then t.cur <- Array.make (max len 64) 0;
   Array.blit src 0 t.cur 0 len;
   t.cur_len <- len
+
+let word = 8
+let arr_bytes a = (Array.length a + 1) * word
+
+let approx_bytes t =
+  (15 * word) + arr_bytes t.stamp + arr_bytes t.dist + arr_bytes t.dist_stamp
+  + arr_bytes t.cand + arr_bytes t.sel + arr_bytes t.cur + arr_bytes t.stack
+  + arr_bytes t.reached

@@ -49,3 +49,7 @@ val push_reached : t -> int -> unit
 
 val set_cur : t -> int array -> int -> unit
 (** [set_cur t src len] copies [src.(0..len)] into the level list. *)
+
+val approx_bytes : t -> int
+(** Estimated resident bytes of the scratch buffers (arrays scale with the
+    arena).  Feeds {!Network.memory_footprint}. *)

@@ -1,19 +1,30 @@
 (* Diff two bench JSON files (schema tapestry-bench/1) op by op.
 
-   Usage: bench_compare [--threshold PCT] [--advisory] BASELINE.json
-   CURRENT.json
+   Usage: bench_compare [--threshold PCT] [--scale-threshold PCT]
+   [--advisory] BASELINE.json CURRENT.json
 
    Prints a per-op table of ns/op before/after and the ratio, flags ops
    whose ns/op regressed by more than the threshold (default 25%), and
    exits 1 if any op regressed past it — tools/check.sh wires this in
-   as a gate.  [--advisory] keeps the report but always exits 0: the
-   escape hatch for noisy shared machines, where a short run's jitter
-   can cross any reasonable threshold.  Exit 2 is reserved for
-   configuration errors (unreadable/mis-schema'd files), so a gating
-   caller can tell "slow" from "broken". *)
+   as a gate.
+
+   Files carrying a "scale" array (written by `tapestry_sim scale`) are
+   additionally compared point by point (keyed by n) on the
+   deterministic resource metrics — bytes_per_node, insert_fit_c — and
+   on peak_rss_kb, under the separate --scale-threshold (default 15%).
+   A scale-only regression exits 3, so a caller can tell "the hot path
+   got slower" (1) from "the mesh got bigger" (3).  Wall-clock fields
+   are reported but never gate: they measure the machine, not the code.
+
+   [--advisory] keeps all reports but always exits 0: the escape hatch
+   for noisy shared machines, where a short run's jitter can cross any
+   reasonable threshold.  Exit 2 is reserved for configuration errors
+   (unreadable/mis-schema'd files), so a gating caller can tell "slow"
+   from "broken". *)
 
 let usage =
-  "bench_compare [--threshold PCT] [--advisory] BASELINE.json CURRENT.json"
+  "bench_compare [--threshold PCT] [--scale-threshold PCT] [--advisory] \
+   BASELINE.json CURRENT.json"
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -35,21 +46,86 @@ let load path =
       | _ -> fail "bench_compare: %s: not a tapestry-bench/1 file" path);
       match Simnet.Json.member "micro" j with
       | Some (Simnet.Json.List entries) ->
-          List.filter_map
-            (fun e ->
-              match
-                (Simnet.Json.member "name" e, Simnet.Json.member "ns_per_op" e)
-              with
-              | Some (Simnet.Json.String name), Some (Simnet.Json.Float v) ->
-                  Some (name, v)
-              | Some (Simnet.Json.String name), Some (Simnet.Json.Int v) ->
-                  Some (name, float_of_int v)
-              | _ -> None)
-            entries
+          ( List.filter_map
+              (fun e ->
+                match
+                  ( Simnet.Json.member "name" e,
+                    Simnet.Json.member "ns_per_op" e )
+                with
+                | Some (Simnet.Json.String name), Some (Simnet.Json.Float v)
+                  ->
+                    Some (name, v)
+                | Some (Simnet.Json.String name), Some (Simnet.Json.Int v) ->
+                    Some (name, float_of_int v)
+                | _ -> None)
+              entries,
+            j )
       | _ -> fail "bench_compare: %s: no micro section" path)
+
+(* The "scale" array is optional (plain bench files don't carry it) and
+   schema-tolerant: per point only [n] is required, any numeric field
+   present in both files under the same name is comparable. *)
+let num = function
+  | Simnet.Json.Float v -> Some v
+  | Simnet.Json.Int v -> Some (float_of_int v)
+  | _ -> None
+
+let scale_points j =
+  match Simnet.Json.member "scale" j with
+  | Some (Simnet.Json.List pts) ->
+      List.filter_map
+        (fun p ->
+          match Option.bind (Simnet.Json.member "n" p) num with
+          | Some n -> Some (int_of_float n, p)
+          | None -> None)
+        pts
+  | _ -> []
+
+(* metrics gated per scale point: deterministic mesh-size measures plus the
+   process peak RSS; higher is worse for all of them *)
+let scale_gated = [ "bytes_per_node"; "insert_fit_c"; "peak_rss_kb" ]
+let scale_reported = scale_gated @ [ "locate_hops"; "stretch_mean"; "build_wall_s" ]
+
+let compare_scale ~threshold base cur =
+  let bpts = scale_points base and cpts = scale_points cur in
+  if bpts = [] || cpts = [] then 0
+  else begin
+    let regressed = ref 0 in
+    Printf.printf "\n%-10s %-20s %12s %12s %8s\n" "scale n" "metric"
+      "baseline" "current" "ratio";
+    List.iter
+      (fun (n, bp) ->
+        match List.assoc_opt n cpts with
+        | None -> Printf.printf "%-10d %-20s %12s %12s %8s\n" n "-" "-" "-" "gone"
+        | Some cp ->
+            List.iter
+              (fun field ->
+                match
+                  ( Option.bind (Simnet.Json.member field bp) num,
+                    Option.bind (Simnet.Json.member field cp) num )
+                with
+                | Some b, Some c when b > 0. ->
+                    let ratio = c /. b in
+                    let gated = List.mem field scale_gated in
+                    let flag =
+                      if gated && ratio > 1. +. (threshold /. 100.) then begin
+                        incr regressed;
+                        "  REGRESSED"
+                      end
+                      else if not gated then "  (info)"
+                      else ""
+                    in
+                    Printf.printf "%-10d %-20s %12.1f %12.1f %7.2fx%s\n" n
+                      field b c ratio flag
+                | _ -> ())
+              scale_reported)
+      bpts;
+    !regressed
+  end
 
 let () =
   let threshold = ref 25.0 in
+  let scale_threshold = ref 15.0 in
   let advisory = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -58,6 +134,11 @@ let () =
         (match float_of_string_opt v with
         | Some t when t >= 0. -> threshold := t
         | _ -> fail "bench_compare: bad threshold %S" v);
+        parse_args rest
+    | "--scale-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> scale_threshold := t
+        | _ -> fail "bench_compare: bad scale threshold %S" v);
         parse_args rest
     | "--advisory" :: rest ->
         advisory := true;
@@ -75,7 +156,7 @@ let () =
     | [ b; c ] -> (b, c)
     | _ -> fail "usage: %s" usage
   in
-  let base = load base_file and cur = load cur_file in
+  let base, base_doc = load base_file and cur, cur_doc = load cur_file in
   let regressed = ref 0 in
   Printf.printf "%-44s %12s %12s %8s\n" "benchmark" "baseline" "current" "ratio";
   List.iter
@@ -98,6 +179,9 @@ let () =
       if not (List.mem_assoc name base) then
         Printf.printf "%-44s %12s %12.0f %8s\n" name "-" c "new")
     cur;
+  let scale_regressed =
+    compare_scale ~threshold:!scale_threshold base_doc cur_doc
+  in
   if !regressed > 0 then begin
     Printf.printf "%d op(s) regressed more than %g%% vs %s\n" !regressed
       !threshold base_file;
@@ -105,4 +189,12 @@ let () =
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 1
   end
-  else Printf.printf "no op regressed more than %g%% vs %s\n" !threshold base_file
+  else Printf.printf "no op regressed more than %g%% vs %s\n" !threshold base_file;
+  if scale_regressed > 0 then begin
+    Printf.printf
+      "%d scale metric(s) regressed more than %g%% vs %s\n" scale_regressed
+      !scale_threshold base_file;
+    if !advisory then
+      print_endline "bench_compare: advisory mode, not failing the check"
+    else exit 3
+  end

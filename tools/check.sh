@@ -6,22 +6,48 @@
 # can attribute the failure without scraping output:
 #   10 build        11 tests          12 syntactic lint
 #   13 typed lint   14 bench smoke    15 bench gate
+#   16 scale smoke
 #
 # The bench gate compares a short run against the committed
 # BENCH_baseline.json and fails if any paired op regressed more than
 # 25% (tools/bench_compare).  ./tools/check.sh --advisory keeps the
 # comparison report but never fails on it — the escape hatch for noisy
 # shared machines.
+#
+# ./tools/check.sh --scale-smoke runs ONLY the scale-tier smoke: a
+# streamed n=32768 construction through `tapestry_sim scale` (<60s),
+# JSON round-tripped through the bench parser and — when a committed
+# BENCH_scale.json has a matching size — gated by bench_compare's
+# scale thresholds.  Kept out of the default stage list because a
+# minute of mesh building is too slow for the inner edit loop.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 advisory=""
+scale_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --advisory) advisory="--advisory" ;;
-    *) echo "usage: tools/check.sh [--advisory]" >&2; exit 2 ;;
+    --scale-smoke) scale_smoke=1 ;;
+    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$scale_smoke" = 1 ]; then
+  dune build bin/tapestry_sim.exe bench/main.exe \
+    tools/bench_compare/bench_compare.exe || exit 10
+  tmp_scale=$(mktemp /tmp/scale_smoke.XXXXXX.json)
+  trap 'rm -f "$tmp_scale"' EXIT
+  dune exec bin/tapestry_sim.exe -- scale --sizes 32768 \
+    --objects 200 --queries 400 --json "$tmp_scale" || exit 16
+  dune exec bench/main.exe -- --check-json "$tmp_scale" || exit 16
+  if [ -f BENCH_scale.json ]; then
+    dune exec tools/bench_compare/bench_compare.exe -- \
+      $advisory BENCH_scale.json "$tmp_scale" || exit 16
+  fi
+  echo "check: scale smoke (n=32768 streamed build + JSON round-trip) clean"
+  exit 0
+fi
 
 dune build || exit 10
 dune runtest || exit 11
