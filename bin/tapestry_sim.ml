@@ -323,10 +323,242 @@ let scale_cmd =
         (const run $ seed_arg $ domains_arg $ sizes_arg $ json_arg
        $ objects_arg $ queries_arg $ audit_arg))
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "n"; "size" ] ~docv:"N" ~doc:"Mesh size (streamed build).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "requests" ] ~docv:"R" ~doc:"Total requests to serve.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 50_000.
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Aggregate arrival rate, requests per virtual second.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"S" ~doc:"Zipf popularity exponent (0 = uniform).")
+  in
+  let objects_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "objects" ] ~docv:"K" ~doc:"Distinct objects (popularity ranks).")
+  in
+  let publish_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "publish" ] ~docv:"P" ~doc:"Publish fraction of the mix.")
+  in
+  let unpublish_arg =
+    Arg.(
+      value & opt float 0.01
+      & info [ "unpublish" ] ~docv:"P" ~doc:"Unpublish fraction of the mix.")
+  in
+  let service_arg =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "service" ] ~docv:"S"
+          ~doc:"Virtual seconds of actor work per message (queueing knob).")
+  in
+  let latency_arg =
+    Arg.(
+      value & opt float 1e-5
+      & info [ "latency" ] ~docv:"S"
+          ~doc:"Virtual seconds per unit of metric distance.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "window" ] ~docv:"S" ~doc:"Barrier window width, virtual seconds.")
+  in
+  let mailbox_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "mailbox-cap" ] ~docv:"C"
+          ~doc:"Bounded mailbox capacity (overflow drops the newcomer).")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "kill-rate" ] ~docv:"R" ~doc:"Node failures per virtual second.")
+  in
+  let join_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "join-rate" ] ~docv:"R" ~doc:"Churn joins per virtual second.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "BENCH_serve.json")
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write machine-readable results (tapestry-bench/1 schema with a \
+             \"serve\" array); \"-\" disables.")
+  in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "Quiesce the mesh after the run (repair, expire) and run the \
+             full invariant audit; fail on any violation.")
+  in
+  let run seed domains n requests rate zipf objects publish unpublish service
+      latency window mailbox_cap kill_rate join_rate json audit =
+    let open Tapestry in
+    let rng = Simnet.Rng.create seed in
+    let metric =
+      Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng
+    in
+    (* soft state must outlive the run: locates past the TTL would find
+       an expired (auto-clean but empty) mesh *)
+    let duration_est = float_of_int requests /. rate in
+    let ttl = Float.max Config.default.Config.pointer_ttl (4. *. duration_est) in
+    let cfg = { Config.default with Config.pointer_ttl = ttl } in
+    let progress inserted total =
+      if inserted = total then Printf.eprintf "[serve] built %d nodes\n%!" total
+    in
+    let t0 = Unix.gettimeofday () in
+    let net, _ =
+      Static_build.build_streamed ~seed:(seed + 1) ~domains cfg metric ~n
+        ~progress:(fun ~inserted ~total -> progress inserted total)
+    in
+    let build_wall = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "[serve] build took %.1fs\n%!" build_wall;
+    let params =
+      {
+        Serve.Driver.seed;
+        requests;
+        rate;
+        zipf_s = zipf;
+        objects;
+        p_publish = publish;
+        p_unpublish = unpublish;
+        latency;
+        service;
+        ttl;
+        window;
+        mailbox_cap;
+        kill_rate;
+        join_rate;
+        domains;
+      }
+    in
+    let r = Serve.Driver.run ~net params ~now:Unix.gettimeofday in
+    let open Serve.Driver in
+    let qv p = Simnet.Stats.Hist.quantile r.hist_v p in
+    let qw p = Simnet.Stats.Hist.quantile r.hist_w p in
+    let throughput = float_of_int r.injected /. r.wall_s in
+    Printf.printf
+      "served %d requests over n=%d in %.2fs wall (%.0f req/s, %d barriers, \
+       %.2f virtual s)\n"
+      r.injected n r.wall_s throughput r.barriers r.duration_v;
+    Printf.printf
+      "  completed %d, failed %d (dropped %d, dead-letter %d), delivered %d \
+       msgs, churn %d kills / %d joins\n"
+      r.completed r.failed r.dropped r.dead_letter r.delivered r.kills r.joins;
+    Printf.printf "  virtual latency p50 %.6f  p90 %.6f  p99 %.6f  p999 %.6f\n"
+      (qv 0.50) (qv 0.90) (qv 0.99) (qv 0.999);
+    Printf.printf "  wall latency    p50 %.6f  p90 %.6f  p99 %.6f  p999 %.6f\n"
+      (qw 0.50) (qw 0.90) (qw 0.99) (qw 0.999);
+    let audit_violations =
+      if audit then begin
+        Serve.Shard.quiesce r.engine ~clock:(r.duration_v +. 1.);
+        let report = Audit.run net in
+        Format.printf "%a@." Audit.pp_report report;
+        Some (List.length report.Audit.violations)
+      end
+      else None
+    in
+    (match json with
+    | None | Some "-" -> ()
+    | Some file ->
+        let open Simnet.Json in
+        let point =
+          Obj
+            [
+              ("n", Int n);
+              ("requests", Int requests);
+              ("rate", Float rate);
+              ("zipf_s", Float zipf);
+              ("objects", Int objects);
+              ("p_publish", Float publish);
+              ("p_unpublish", Float unpublish);
+              ("service", Float service);
+              ("latency", Float latency);
+              ("window", Float window);
+              ("mailbox_cap", Int mailbox_cap);
+              ("kill_rate", Float kill_rate);
+              ("join_rate", Float join_rate);
+              ("build_wall_s", Float build_wall);
+              ("wall_s", Float r.wall_s);
+              ("duration_v", Float r.duration_v);
+              ("throughput_rps", Float throughput);
+              ("p50_virtual", Float (qv 0.50));
+              ("p90_virtual", Float (qv 0.90));
+              ("p99_virtual", Float (qv 0.99));
+              ("p999_virtual", Float (qv 0.999));
+              ("p50_wall", Float (qw 0.50));
+              ("p99_wall", Float (qw 0.99));
+              ("p999_wall", Float (qw 0.999));
+              ("injected", Int r.injected);
+              ("completed", Int r.completed);
+              ("failed", Int r.failed);
+              ("dropped", Int r.dropped);
+              ("dead_letter", Int r.dead_letter);
+              ("delivered", Int r.delivered);
+              ("kills", Int r.kills);
+              ("joins", Int r.joins);
+              ("barriers", Int r.barriers);
+              ( "audit_violations",
+                match audit_violations with Some v -> Int v | None -> Null );
+            ]
+        in
+        let doc =
+          Obj
+            [
+              ("schema", String "tapestry-bench/1");
+              ("seed", Int seed);
+              ("domains", Int domains);
+              ("micro", List []);
+              ("tables", List []);
+              ("scale", List []);
+              ("serve", List [ point ]);
+            ]
+        in
+        let oc = open_out file in
+        output_string oc (to_string doc);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+    match audit_violations with
+    | Some v when v > 0 -> Error (`Msg "serve: audit found invariant violations")
+    | _ -> Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Actor-model serving runtime: domain-sharded mailboxes driving a \
+          Zipf locate/publish mix with p50/p99/p999 latency accounting.")
+    Term.(
+      term_result
+        (const run $ seed_arg $ domains_arg $ n_arg $ requests_arg $ rate_arg
+       $ zipf_arg $ objects_arg $ publish_arg $ unpublish_arg $ service_arg
+       $ latency_arg $ window_arg $ mailbox_arg $ kill_arg $ join_arg
+       $ json_arg $ audit_arg))
+
 let main =
   Cmd.group
     (Cmd.info "tapestry_sim" ~version:"1.0.0"
        ~doc:"Reproduction of 'Distributed Object Location in a Dynamic Network'.")
-    [ exp_cmd; build_cmd; trace_cmd; scale_cmd ]
+    [ exp_cmd; build_cmd; trace_cmd; scale_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,422 @@
+(* Fiber-per-node actors: mailbox drain loops and the per-message
+   protocol state machine (DESIGN.md section 9).
+
+   Each alive node is a latent actor: when a message lands in its
+   mailbox and no drain fiber is active, one is spawned on the owning
+   shard's scheduler.  The fiber pops messages FIFO, models [service]
+   virtual seconds of local processing per message, executes the hop
+   (pointer probe, deposit, removal, or replica check), and sends the
+   follow-up message — so a request's hop sequence is real inter-actor
+   traffic, each hop charged [latency * metric distance] like
+   [Async_ops.hop].
+
+   Opcodes: 0 LOCATE walks toward the object's root until a usable
+   pointer redirects it (FETCH to the closest live server, Section 2.4's
+   closest-replica rule); 1 FETCH completes at the server iff it still
+   stores the replica; 2 PUBLISH deposits a pointer per hop with the
+   previous-hop backlink (Figure 2 / Figure 9's "previous"), completing
+   at the root; 3 UNPUBLISH retracts along the same walk.
+
+   Shard confinement: a dispatch only mutates state owned by the shard
+   it runs on (the target node's pointer store / replica set — nodes are
+   partitioned by handle), reads the frozen routing mesh, and writes its
+   own shard's counters, histograms, transport and outbox.  Dead
+   neighbors noticed during digit scans are not purged mid-window (that
+   would mutate shared tables and the global cost accumulator the way
+   [Route.purge] does); the owner is recorded in the dirty set and the
+   shard barrier runs [Delete.on_dead_repair] sequentially.
+
+   This file is on the typed lint's hot-path list: the per-message path
+   allocates nothing but the option values the pointer-store API
+   returns; scratch results travel through mutable ctx fields. *)
+
+open Tapestry
+module Fiber = Simnet.Fiber
+module Cost = Simnet.Cost
+module Hist = Simnet.Stats.Hist
+
+let op_locate = 0
+let op_fetch = 1
+let op_publish = 2
+let op_unpublish = 3
+
+(* request_status values (one byte per request) *)
+let st_pending = '\000'
+let st_ok = '\001'
+let st_failed = '\002'
+let st_dropped = '\003'
+let st_dead_letter = '\004'
+
+type shared = {
+  net : Network.t;
+  mb : Mailbox.t;
+  shards : int;  (* fixed partition count, independent of --domains *)
+  guids : Node_id.t array;  (* oi = obj * roots + r -> salted guid psi_r *)
+  roots : int;  (* config root_set_size *)
+  ttl : float;  (* pointer expiry horizon for serve-time deposits *)
+  latency : float;  (* virtual seconds per unit of metric distance *)
+  service : float;  (* virtual seconds an actor spends per message *)
+  digits : int;
+  base : int;
+  req_t0 : float array;  (* per request: virtual injection time *)
+  req_w0 : float array;  (* per request: wall stamp of injection window *)
+  req_status : Bytes.t;
+  wall : float array;  (* wall.(0): stamp of the current window, barrier-written *)
+  mutable dirty : Bytes.t;  (* per handle: 1 if queued for dead-entry repair *)
+}
+
+type ctx = {
+  sh : shared;
+  shard : int;
+  sched : Fiber.t;
+  tr : Mailbox.Transport.tr;
+  out : Mailbox.Outbox.ob;
+  rng : Simnet.Rng.t;  (* injector stream; dispatch never draws from it *)
+  cost : Cost.t;
+  hist_v : Hist.h;  (* virtual-time latency of completed requests *)
+  hist_w : Hist.h;  (* wall-time latency (info only, machine-dependent) *)
+  mutable injected : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable dropped : int;
+  mutable dead_letter : int;
+  mutable delivered : int;
+  mutable dirty_h : int array;  (* owners with dead table entries, barrier-drained *)
+  mutable dirty_len : int;
+  (* allocation-free scan scratch *)
+  mutable scan_h : int;
+  mutable scan_level : int;
+  mutable best_h : int;
+  mutable best_d : float;
+  mutable pred_now : float;
+  mutable cur : Node.t;  (* node whose dispatch is running *)
+  mutable sel : Pointer_store.record -> unit;
+      (* preallocated best-server folder; assigned once in [make_ctx] *)
+}
+
+(* [@alloc_ok]: one shared record per run. *)
+let[@alloc_ok] make_shared ~net ~mb ~shards ~guids ~roots ~ttl ~latency
+    ~service ~requests =
+  let cfg = net.Network.config in
+  {
+    net;
+    mb;
+    shards;
+    guids;
+    roots;
+    ttl;
+    latency;
+    service;
+    digits = cfg.Config.id_digits;
+    base = cfg.Config.base;
+    req_t0 = Array.make (max requests 1) 0.;
+    req_w0 = Array.make (max requests 1) 0.;
+    req_status = Bytes.make (max requests 1) st_pending;
+    wall = Array.make 1 0.;
+    dirty = Bytes.make (max net.Network.arena_len 1) '\000';
+  }
+
+(* [@alloc_ok]: one ctx record (plus its selector closure) per shard per
+   run; the closure reads/writes only ctx scratch fields, so dispatches
+   reuse it without allocating. *)
+let[@alloc_ok] make_ctx sh ~shard ~rng =
+  let ctx =
+    {
+      sh;
+      shard;
+      sched = Fiber.create ();
+      tr = Mailbox.Transport.create ();
+      out = Mailbox.Outbox.create ();
+      rng;
+      cost = Cost.make ();
+      hist_v = Hist.create ();
+      hist_w = Hist.create ();
+      injected = 0;
+      completed = 0;
+      failed = 0;
+      dropped = 0;
+      dead_letter = 0;
+      delivered = 0;
+      dirty_h = Array.make 16 0;
+      dirty_len = 0;
+      scan_h = -1;
+      scan_level = 0;
+      best_h = -1;
+      best_d = infinity;
+      pred_now = 0.;
+      cur = Network.node_of_handle sh.net 0;
+      sel = (fun _ -> ());
+    }
+  in
+  (ctx.sel <-
+     (fun (r : Pointer_store.record) ->
+       if r.Pointer_store.expires >= ctx.pred_now then begin
+         match Network.find sh.net r.Pointer_store.server with
+         | Some srv when Node.is_alive srv ->
+             let d = Network.dist sh.net ctx.cur srv in
+             if d < ctx.best_d then begin
+               ctx.best_d <- d;
+               ctx.best_h <- srv.Node.handle
+             end
+         | _ -> ()
+       end));
+  ctx
+
+(* Count trailing zeros of a non-zero mask, de Bruijn multiply — same
+   table as Route's digit scan (not exported there; 32 small ints). *)
+let ntz_table =
+  [|
+    0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8; 31; 27; 13; 23;
+    21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9;
+  |]
+
+let ntz x = ntz_table.((((x land -x) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+
+(* [@alloc_ok]: the dirty list doubles rarely; everything else is int
+   stores. *)
+let[@alloc_ok] note_dirty ctx (owner : Node.t) =
+  let h = owner.Node.handle in
+  if h >= 0 && Bytes.get ctx.sh.dirty h = '\000' then begin
+    Bytes.set ctx.sh.dirty h '\001';
+    if ctx.dirty_len >= Array.length ctx.dirty_h then begin
+      let a = Array.make (Array.length ctx.dirty_h * 2) 0 in
+      Array.blit ctx.dirty_h 0 a 0 ctx.dirty_len;
+      ctx.dirty_h <- a
+    end;
+    ctx.dirty_h.(ctx.dirty_len) <- h;
+    ctx.dirty_len <- ctx.dirty_len + 1
+  end
+
+(* First alive entry of a slot, read-only: dead entries are skipped (and
+   the owner queued for barrier repair) instead of purged in place. *)
+let rec slot_first_alive ctx (node : Node.t) ~level ~digit ~len k =
+  if k >= len then -1
+  else begin
+    let table = node.Node.table in
+    let h = Routing_table.slot_handle table ~level ~digit ~k in
+    if h >= 0 then begin
+      let n = Network.node_of_handle ctx.sh.net h in
+      if Node.is_alive n then h
+      else begin
+        note_dirty ctx node;
+        slot_first_alive ctx node ~level ~digit ~len (k + 1)
+      end
+    end
+    else begin
+      (* entries without a handle exist only in test-injected tables *)
+      let id = Routing_table.slot_id table ~level ~digit ~k in
+      match Network.find ctx.sh.net id with
+      | Some n when Node.is_alive n -> n.Node.handle
+      | _ ->
+          note_dirty ctx node;
+          slot_first_alive ctx node ~level ~digit ~len (k + 1)
+    end
+  end
+
+(* Wrap-order digit scan over the filled mask — [Route.native_scan]'s
+   order exactly, minus purging. *)
+let rec scan_digit ctx (node : Node.t) ~level ~want tries =
+  let base = ctx.sh.base in
+  if tries >= base then -1
+  else begin
+    let m = Routing_table.filled_mask node.Node.table ~level in
+    let start = want + tries in
+    let start = if start >= base then start - base else start in
+    let m = ((m lsr start) lor (m lsl (base - start))) land ((1 lsl base) - 1) in
+    if m = 0 then -1
+    else begin
+      let tries = tries + ntz m in
+      if tries >= base then -1
+      else begin
+        let j = want + tries in
+        let j = if j >= base then j - base else j in
+        let len = Routing_table.slot_len node.Node.table ~level ~digit:j in
+        let h = slot_first_alive ctx node ~level ~digit:j ~len 0 in
+        if h >= 0 then h else scan_digit ctx node ~level ~want (tries + 1)
+      end
+    end
+  end
+
+(* Next hop of the walk toward [guid] starting at [level]: sets
+   [scan_h] to the next node's handle and [scan_level] to the level the
+   walk resumes at there, or [scan_h = -1] when [node] is the walk's
+   endpoint (its surrogate root). *)
+let rec next_hop ctx (node : Node.t) guid level =
+  if level >= ctx.sh.digits then ctx.scan_h <- -1
+  else begin
+    let want = Node_id.digit guid level in
+    let h = scan_digit ctx node ~level ~want 0 in
+    if h < 0 then ctx.scan_h <- -1
+    else if h = node.Node.handle then next_hop ctx node guid (level + 1)
+    else begin
+      ctx.scan_h <- h;
+      ctx.scan_level <- level + 1
+    end
+  end
+
+(* Send: same-shard targets go straight into this shard's transport;
+   cross-shard targets are buffered in the outbox until the barrier.
+   The target's mailbox generation is captured now — churn at a later
+   barrier turns the message into a dead letter. *)
+let send ctx ~time ~h ~kind ~req ~oi ~level ~prev ~src =
+  let sh = ctx.sh in
+  let g = Mailbox.generation sh.mb h in
+  if h mod sh.shards = ctx.shard then
+    Mailbox.Transport.push ctx.tr ~time ~h ~g ~kind ~req ~oi ~level ~prev ~src
+  else Mailbox.Outbox.push ctx.out ~time ~h ~g ~kind ~req ~oi ~level ~prev ~src
+
+let complete_ok ctx ~now ~req =
+  if req >= 0 then begin
+    let sh = ctx.sh in
+    Bytes.set sh.req_status req st_ok;
+    Hist.add ctx.hist_v (now -. sh.req_t0.(req));
+    Hist.add ctx.hist_w (sh.wall.(0) -. sh.req_w0.(req));
+    ctx.completed <- ctx.completed + 1
+  end
+
+let complete_failed ctx ~req =
+  if req >= 0 then begin
+    Bytes.set ctx.sh.req_status req st_failed;
+    ctx.failed <- ctx.failed + 1
+  end
+
+(* One hop of distance [d] from [node] to handle [h]: charge the shard
+   cost and schedule delivery after the virtual link latency. *)
+let hop ctx (node : Node.t) ~now ~h ~kind ~req ~oi ~level ~prev ~src =
+  let sh = ctx.sh in
+  let d = Network.dist sh.net node (Network.node_of_handle sh.net h) in
+  Cost.send ctx.cost ~dist:d;
+  send ctx ~time:(now +. (sh.latency *. d)) ~h ~kind ~req ~oi ~level ~prev ~src
+
+let dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
+  let sh = ctx.sh in
+  let base_oi = oi - (oi mod sh.roots) in
+  let base_guid = sh.guids.(base_oi) in
+  if kind = op_locate then begin
+    (* a usable pointer redirects the walk to the closest live server *)
+    ctx.pred_now <- now;
+    ctx.cur <- node;
+    ctx.best_h <- -1;
+    ctx.best_d <- infinity;
+    Pointer_store.iter_guid node.Node.pointers base_guid ~f:ctx.sel;
+    if ctx.best_h >= 0 then
+      hop ctx node ~now ~h:ctx.best_h ~kind:op_fetch ~req ~oi ~level:0
+        ~prev:(-1) ~src:ctx.best_h
+    else begin
+      next_hop ctx node sh.guids.(oi) level;
+      if ctx.scan_h >= 0 then
+        hop ctx node ~now ~h:ctx.scan_h ~kind:op_locate ~req ~oi
+          ~level:ctx.scan_level ~prev:(-1) ~src
+      else
+        (* reached the root without intersecting a publish path *)
+        complete_failed ctx ~req
+    end
+  end
+  else if kind = op_fetch then begin
+    if Node.stores_replica node base_guid then complete_ok ctx ~now ~req
+    else complete_failed ctx ~req
+  end
+  else if kind = op_publish then begin
+    if prev < 0 then Node.add_replica node base_guid;
+    let server_id = (Network.node_of_handle sh.net src).Node.id in
+    let previous =
+      if prev < 0 then None
+      else Some (Network.node_of_handle sh.net prev).Node.id
+    in
+    ignore
+      (Pointer_store.store node.Node.pointers ~guid:base_guid
+         ~server:server_id ~root_idx:(oi - base_oi) ~previous
+         ~expires:(now +. sh.ttl));
+    next_hop ctx node sh.guids.(oi) level;
+    if ctx.scan_h >= 0 then
+      hop ctx node ~now ~h:ctx.scan_h ~kind:op_publish ~req ~oi
+        ~level:ctx.scan_level ~prev:node.Node.handle ~src
+    else complete_ok ctx ~now ~req
+  end
+  else begin
+    (* op_unpublish *)
+    if prev < 0 then Node.remove_replica node base_guid;
+    let server_id = (Network.node_of_handle sh.net src).Node.id in
+    ignore
+      (Pointer_store.remove node.Node.pointers ~guid:base_guid
+         ~server:server_id ~root_idx:(oi - base_oi));
+    next_hop ctx node sh.guids.(oi) level;
+    if ctx.scan_h >= 0 then
+      hop ctx node ~now ~h:ctx.scan_h ~kind:op_unpublish ~req ~oi
+        ~level:ctx.scan_level ~prev:node.Node.handle ~src
+    else complete_ok ctx ~now ~req
+  end
+
+(* The drain fiber: FIFO over the mailbox, [service] virtual seconds per
+   message, until the ring is empty.  The generation is re-checked after
+   every sleep — the node may have been killed at a barrier while the
+   fiber slept; the message it popped dies with it. *)
+let rec drain_loop ctx h gen =
+  let sh = ctx.sh in
+  let mb = sh.mb in
+  if Mailbox.generation mb h <> gen then ()
+  else if Mailbox.length mb h = 0 then Mailbox.set_busy mb h false
+  else begin
+    let i = Mailbox.msg_index mb h in
+    let kind = mb.Mailbox.r_kind.(i)
+    and req = mb.Mailbox.r_req.(i)
+    and oi = mb.Mailbox.r_oi.(i)
+    and level = mb.Mailbox.r_level.(i)
+    and prev = mb.Mailbox.r_prev.(i)
+    and src = mb.Mailbox.r_src.(i) in
+    Mailbox.advance mb h;
+    if sh.service > 0. then Fiber.sleep ctx.sched sh.service;
+    if Mailbox.generation mb h <> gen then begin
+      (* killed mid-service: the in-hand message is a dead letter *)
+      ctx.dead_letter <- ctx.dead_letter + 1;
+      if req >= 0 then begin
+        Bytes.set sh.req_status req st_dead_letter;
+        ctx.failed <- ctx.failed + 1
+      end
+    end
+    else begin
+      let node = Network.node_of_handle sh.net h in
+      dispatch ctx node ~now:(Fiber.now ctx.sched) ~kind ~req ~oi ~level
+        ~prev ~src;
+      drain_loop ctx h gen
+    end
+  end
+
+(* Deliver one transport message (already popped into [tr.o_*]): dead
+   letters and ring overflow are terminal for the request; otherwise
+   enqueue and make sure a drain fiber is up.  [@alloc_ok]: the spawn
+   closure is one allocation per actor busy-period, not per message. *)
+let[@alloc_ok] deliver ctx ~time =
+  let sh = ctx.sh in
+  let tr = ctx.tr in
+  let h = tr.Mailbox.Transport.o_h in
+  let req = tr.Mailbox.Transport.o_req in
+  ctx.delivered <- ctx.delivered + 1;
+  if
+    Mailbox.generation sh.mb h <> tr.Mailbox.Transport.o_g
+    || not (Node.is_alive (Network.node_of_handle sh.net h))
+  then begin
+    ctx.dead_letter <- ctx.dead_letter + 1;
+    if req >= 0 then begin
+      Bytes.set sh.req_status req st_dead_letter;
+      ctx.failed <- ctx.failed + 1
+    end
+  end
+  else if
+    not
+      (Mailbox.push sh.mb h ~kind:tr.Mailbox.Transport.o_kind ~req
+         ~oi:tr.Mailbox.Transport.o_oi ~level:tr.Mailbox.Transport.o_level
+         ~prev:tr.Mailbox.Transport.o_prev ~src:tr.Mailbox.Transport.o_src)
+  then begin
+    (* bounded mailbox full: drop the newcomer (backpressure policy) *)
+    ctx.dropped <- ctx.dropped + 1;
+    if req >= 0 then begin
+      Bytes.set sh.req_status req st_dropped;
+      ctx.failed <- ctx.failed + 1
+    end
+  end
+  else if not (Mailbox.is_busy sh.mb h) then begin
+    Mailbox.set_busy sh.mb h true;
+    let gen = Mailbox.generation sh.mb h in
+    Fiber.spawn_at ctx.sched time (fun () -> drain_loop ctx h gen)
+  end

@@ -1,0 +1,102 @@
+(** Fiber-per-node actors: mailbox drain loops and the per-message
+    protocol state machine of the serving runtime (DESIGN.md section 9).
+
+    Opcodes: LOCATE walks toward the object's root, redirecting to the
+    closest live server as soon as it meets a usable pointer (the
+    closest-replica rule of Section 2.4); FETCH completes at the server
+    iff it still stores the replica; PUBLISH deposits soft-state
+    pointers along the walk with the previous-hop backlink; UNPUBLISH
+    retracts along the same walk.
+
+    Every function here runs on the shard owning the target node and
+    touches only that shard's state plus the partitioned per-node
+    stores; dead routing entries seen mid-scan are queued for the
+    barrier, never purged in place. *)
+
+open Tapestry
+module Fiber = Simnet.Fiber
+module Hist = Simnet.Stats.Hist
+
+val op_locate : int
+val op_fetch : int
+val op_publish : int
+val op_unpublish : int
+
+val st_pending : char
+val st_ok : char
+val st_failed : char
+val st_dropped : char
+val st_dead_letter : char
+
+(** Run-global immutable tables plus the few cross-shard cells written
+    only at barriers ([wall], [dirty]) or at disjoint indices
+    ([req_*], partitioned by per-shard request-id ranges). *)
+type shared = {
+  net : Network.t;
+  mb : Mailbox.t;
+  shards : int;  (** fixed partition count, independent of [--domains] *)
+  guids : Node_id.t array;  (** [oi = obj * roots + r] -> salted guid *)
+  roots : int;
+  ttl : float;  (** expiry horizon of serve-time pointer deposits *)
+  latency : float;  (** virtual seconds per unit of metric distance *)
+  service : float;  (** virtual seconds an actor spends per message *)
+  digits : int;
+  base : int;
+  req_t0 : float array;  (** per request: virtual injection time *)
+  req_w0 : float array;  (** per request: wall stamp of injection window *)
+  req_status : Bytes.t;
+  wall : float array;  (** [wall.(0)]: stamp of the window, barrier-written *)
+  mutable dirty : Bytes.t;  (** per handle: queued for dead-entry repair? *)
+}
+
+(** Per-shard private world: scheduler, transport, outbox, RNG, cost and
+    latency accounting, plus mutable scratch so the hot dispatch path
+    allocates nothing. *)
+type ctx = {
+  sh : shared;
+  shard : int;
+  sched : Fiber.t;
+  tr : Mailbox.Transport.tr;
+  out : Mailbox.Outbox.ob;
+  rng : Simnet.Rng.t;
+  cost : Simnet.Cost.t;
+  hist_v : Hist.h;
+  hist_w : Hist.h;
+  mutable injected : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable dropped : int;
+  mutable dead_letter : int;
+  mutable delivered : int;
+  mutable dirty_h : int array;
+  mutable dirty_len : int;
+  mutable scan_h : int;
+  mutable scan_level : int;
+  mutable best_h : int;
+  mutable best_d : float;
+  mutable pred_now : float;
+  mutable cur : Node.t;
+  mutable sel : Pointer_store.record -> unit;
+}
+
+val make_shared :
+  net:Network.t -> mb:Mailbox.t -> shards:int -> guids:Node_id.t array ->
+  roots:int -> ttl:float -> latency:float -> service:float ->
+  requests:int -> shared
+
+val make_ctx : shared -> shard:int -> rng:Simnet.Rng.t -> ctx
+
+val send :
+  ctx -> time:float -> h:int -> kind:int -> req:int -> oi:int ->
+  level:int -> prev:int -> src:int -> unit
+(** Route a message to handle [h]: same-shard straight into this shard's
+    transport, cross-shard into the outbox for the barrier.  Captures
+    the target's mailbox generation at send time. *)
+
+val complete_failed : ctx -> req:int -> unit
+
+val deliver : ctx -> time:float -> unit
+(** Deliver the transport message just popped into [ctx.tr]'s out
+    fields: generation mismatches and dead targets are dead letters,
+    ring overflow drops the newcomer, otherwise the message is enqueued
+    and a drain fiber is spawned if none is active. *)

@@ -1,0 +1,241 @@
+(* The windowed barrier-synchronous shard engine (DESIGN.md section 9).
+
+   Handles are partitioned over a FIXED grid of [shard_count] logical
+   shards ([handle mod shard_count]); [--domains] only decides how many
+   OS domains the grid is folded onto, exactly like
+   [Static_build.build_streamed]'s fixed-64-shard sweep — so results are
+   bit-identical for every domain count.
+
+   Virtual time advances in windows of width [window].  Within a window
+   every shard runs independently: it pumps its private transport heap
+   and fiber scheduler (interleaved by head time) up to the barrier.
+   Cross-shard messages buffered in outboxes during the window are
+   exchanged sequentially at the barrier in shard index order, with
+   delivery times floored to the barrier (a message may not land inside
+   a window its target already executed).  Churn and dead-entry repair
+   also happen only at barriers, in shard order, so every mutation of
+   shared state is sequential and deterministically ordered. *)
+
+open Tapestry
+module Fiber = Simnet.Fiber
+module Transport = Mailbox.Transport
+
+let shard_count = 64
+let shard_of h = h mod shard_count
+
+type t = {
+  sh : Actor.shared;
+  ctxs : Actor.ctx array;  (* length [shard_count] *)
+  window : float;
+  mutable barriers : int;  (* barriers executed so far *)
+}
+
+let create ~net ~guids ~roots ~ttl ~latency ~service ~requests ~mailbox_cap
+    ~seed ~window =
+  if window <= 0. then invalid_arg "Shard.create: window <= 0";
+  let mb =
+    Mailbox.create ~cap:mailbox_cap ~handles:(max net.Network.arena_len 1)
+  in
+  let sh =
+    Actor.make_shared ~net ~mb ~shards:shard_count ~guids ~roots ~ttl
+      ~latency ~service ~requests
+  in
+  let ctxs =
+    Array.init shard_count (fun s ->
+        Actor.make_ctx sh ~shard:s
+          ~rng:(Simnet.Parallel.task_rng ~seed ~task:s))
+  in
+  { sh; ctxs; window; barriers = 0 }
+
+(* Interleave the shard's two event sources by head time until both are
+   past [limit]: fiber events first on ties (arbitrary but fixed). *)
+let rec pump ctx ~limit =
+  let ft = Fiber.next_event_time ctx.Actor.sched in
+  let tt = Transport.peek_time ctx.Actor.tr in
+  if ft <= tt then begin
+    if ft <= limit then begin
+      Fiber.run_until ctx.Actor.sched ft;
+      pump ctx ~limit
+    end
+  end
+  else if tt <= limit then begin
+    ignore (Transport.pop_into ctx.Actor.tr : bool);
+    Actor.deliver ctx ~time:ctx.Actor.tr.Transport.o_time;
+    pump ctx ~limit
+  end
+
+let run_shard_window ctx ~limit =
+  pump ctx ~limit;
+  (* no events remain at or before the barrier: normalize the clock *)
+  Fiber.run_until ctx.Actor.sched limit
+
+(* The ONLY binding that touches [Domain]: everything transitively
+   callable from here runs concurrently on sibling domains and must obey
+   the shard-confinement discipline (see lint allowlist).  Shard [s]
+   always lands on domain [s / per], so a fiber suspended across a
+   barrier resumes on the domain that created it. *)
+let run_windows_parallel t ~domains ~limit =
+  let nd =
+    let d = min domains shard_count in
+    if d < 1 then 1 else d
+  in
+  if nd = 1 then
+    for s = 0 to shard_count - 1 do
+      run_shard_window t.ctxs.(s) ~limit
+    done
+  else begin
+    let per = (shard_count + nd - 1) / nd in
+    let doms =
+      Array.init (nd - 1) (fun k ->
+          Domain.spawn (fun () ->
+              let lo = (k + 1) * per in
+              let hi = min shard_count ((k + 2) * per) - 1 in
+              for s = lo to hi do
+                run_shard_window t.ctxs.(s) ~limit
+              done))
+    in
+    for s = 0 to min shard_count per - 1 do
+      run_shard_window t.ctxs.(s) ~limit
+    done;
+    Array.iter Domain.join doms
+  end
+
+(* ---- barrier steps: sequential, shard-order, deterministic ---- *)
+
+let flush_outboxes t ~barrier =
+  for s = 0 to shard_count - 1 do
+    let ob = t.ctxs.(s).Actor.out in
+    for i = 0 to ob.Mailbox.Outbox.blen - 1 do
+      let h = ob.Mailbox.Outbox.b_h.(i) in
+      let time = ob.Mailbox.Outbox.b_time.(i) in
+      let time = if time < barrier then barrier else time in
+      Transport.push
+        t.ctxs.(shard_of h).Actor.tr
+        ~time ~h
+        ~g:ob.Mailbox.Outbox.b_g.(i)
+        ~kind:ob.Mailbox.Outbox.b_kind.(i)
+        ~req:ob.Mailbox.Outbox.b_req.(i)
+        ~oi:ob.Mailbox.Outbox.b_oi.(i)
+        ~level:ob.Mailbox.Outbox.b_level.(i)
+        ~prev:ob.Mailbox.Outbox.b_prev.(i)
+        ~src:ob.Mailbox.Outbox.b_src.(i)
+    done;
+    Mailbox.Outbox.clear ob
+  done
+
+(* Lazy repair of one owner's dead routing entries, Section 5.2 style:
+   collect the distinct dead neighbors, then run the rich on_dead
+   handler for each (drop link, promote secondary, fill holes, re-push
+   pointers). *)
+let repair_owner net (owner : Node.t) =
+  if Node.is_alive owner then begin
+    let dead = ref [] in
+    Routing_table.iter_entries owner.Node.table
+      (fun ~level:_ ~digit:_ (e : Routing_table.entry) ->
+        match Network.find net e.Routing_table.id with
+        | Some n when Node.is_alive n -> ()
+        | _ ->
+            if
+              not
+                (List.exists
+                   (fun d -> Node_id.equal d e.Routing_table.id)
+                   !dead)
+            then dead := e.Routing_table.id :: !dead);
+    List.iter
+      (fun d -> Delete.on_dead_repair net ~owner ~dead:d)
+      (List.rev !dead)
+  end
+
+let apply_repairs t =
+  let net = t.sh.Actor.net in
+  for s = 0 to shard_count - 1 do
+    let ctx = t.ctxs.(s) in
+    for i = 0 to ctx.Actor.dirty_len - 1 do
+      let h = ctx.Actor.dirty_h.(i) in
+      Bytes.set t.sh.Actor.dirty h '\000';
+      repair_owner net (Network.node_of_handle net h)
+    done;
+    ctx.Actor.dirty_len <- 0
+  done
+
+(* Grow barrier-resized structures after churn joins. *)
+let sync_capacity t =
+  let sh = t.sh in
+  let n = sh.Actor.net.Network.arena_len in
+  Mailbox.ensure sh.Actor.mb ~handles:n;
+  if Bytes.length sh.Actor.dirty < n then begin
+    let b = Bytes.make (max n (2 * Bytes.length sh.Actor.dirty)) '\000' in
+    Bytes.blit sh.Actor.dirty 0 b 0 (Bytes.length sh.Actor.dirty);
+    sh.Actor.dirty <- b
+  end
+
+(* Node failure at a barrier: queued requests die with the mailbox, the
+   generation bump turns in-flight messages into dead letters, then the
+   node silently fails (repair stays lazy). *)
+let kill_node t (node : Node.t) =
+  let sh = t.sh in
+  let h = node.Node.handle in
+  let ctx = t.ctxs.(shard_of h) in
+  let mb = sh.Actor.mb in
+  while Mailbox.length mb h > 0 do
+    let req = mb.Mailbox.r_req.(Mailbox.msg_index mb h) in
+    Mailbox.advance mb h;
+    ctx.Actor.dead_letter <- ctx.Actor.dead_letter + 1;
+    if req >= 0 then begin
+      Bytes.set sh.Actor.req_status req Actor.st_dead_letter;
+      ctx.Actor.failed <- ctx.Actor.failed + 1
+    end
+  done;
+  Mailbox.kill mb h;
+  Delete.fail sh.Actor.net node
+
+let next_work_time t =
+  let e = ref infinity in
+  for s = 0 to shard_count - 1 do
+    let ctx = t.ctxs.(s) in
+    let ft = Fiber.next_event_time ctx.Actor.sched in
+    let tt = Transport.peek_time ctx.Actor.tr in
+    if ft < !e then e := ft;
+    if tt < !e then e := tt
+  done;
+  !e
+
+(* First window boundary strictly after [e]. *)
+let next_barrier t e =
+  let k = Float.of_int (int_of_float (Float.floor (e /. t.window))) in
+  let b = (k +. 1.) *. t.window in
+  if b <= e then b +. t.window else b
+
+let run t ~domains ~now ~on_barrier =
+  let rec loop barrier =
+    run_windows_parallel t ~domains ~limit:barrier;
+    t.barriers <- t.barriers + 1;
+    t.sh.Actor.wall.(0) <- now ();
+    flush_outboxes t ~barrier;
+    apply_repairs t;
+    on_barrier t barrier;
+    sync_capacity t;
+    let e = next_work_time t in
+    if e < infinity then loop (next_barrier t e)
+  in
+  t.sh.Actor.wall.(0) <- now ();
+  let e = next_work_time t in
+  if e < infinity then loop (next_barrier t e)
+
+(* Drive the mesh to an auditable quiescent point: advance the virtual
+   clock, repair every dead link and hole, drop backpointers whose
+   source died, and expire stale soft state.  After this [Audit.run]
+   must be clean even for a churned run. *)
+let quiesce t ~clock =
+  let net = t.sh.Actor.net in
+  net.Network.clock <- clock;
+  Network.iter_alive net (fun owner -> repair_owner net owner);
+  ignore (Delete.repair_all_holes net : int);
+  Network.iter_alive net (fun n ->
+      List.iter
+        (fun (level, src) ->
+          match Network.find net src with
+          | Some s when Node.is_alive s -> ()
+          | _ -> Routing_table.remove_backpointer n.Node.table ~level src)
+        (Routing_table.all_backpointers n.Node.table));
+  ignore (Maintenance.expire_all net : int)

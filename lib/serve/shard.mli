@@ -1,0 +1,58 @@
+(** Windowed barrier-synchronous shard engine for the serving runtime
+    (DESIGN.md section 9).
+
+    Handles are partitioned over a fixed grid of {!shard_count} logical
+    shards; the domain count only folds the grid onto OS domains, so a
+    run's results are bit-identical for every [--domains] value.  Within
+    a window each shard pumps its private transport heap and fiber
+    scheduler independently; outbox exchange, churn and dead-entry
+    repair happen sequentially at the barriers, in shard index order. *)
+
+open Tapestry
+
+val shard_count : int
+(** Fixed at 64, like the streamed-build shard sweep. *)
+
+val shard_of : int -> int
+(** Owning shard of an arena handle. *)
+
+type t = {
+  sh : Actor.shared;
+  ctxs : Actor.ctx array;  (** length {!shard_count} *)
+  window : float;
+  mutable barriers : int;  (** barriers executed so far *)
+}
+
+val create :
+  net:Network.t -> guids:Node_id.t array -> roots:int -> ttl:float ->
+  latency:float -> service:float -> requests:int -> mailbox_cap:int ->
+  seed:int -> window:float -> t
+(** Build the engine: one mailbox arena sized to the network, one
+    {!Actor.ctx} per shard with an independent [Parallel.task_rng]
+    stream.  @raise Invalid_argument if [window <= 0]. *)
+
+val run :
+  t -> domains:int -> now:(unit -> float) ->
+  on_barrier:(t -> float -> unit) -> unit
+(** Run windows until no shard has pending work.  [domains <= 1] runs
+    the grid sequentially on the calling domain.  [now] supplies wall
+    stamps (written into [sh.wall.(0)] at each barrier, info only).
+    [on_barrier t barrier] runs sequentially at every barrier after
+    outbox exchange and repair — churn injection goes here. *)
+
+val kill_node : t -> Node.t -> unit
+(** Barrier-only node failure: dead-letter the queued requests, clear
+    the mailbox, bump its generation, then [Delete.fail]. *)
+
+val sync_capacity : t -> unit
+(** Barrier-only: grow the mailbox arena and dirty set after joins
+    ({!run} calls it after every [on_barrier]). *)
+
+val next_work_time : t -> float
+(** Earliest pending event across all shards, [infinity] if idle. *)
+
+val quiesce : t -> clock:float -> unit
+(** Drive the mesh to an auditable quiescent point: set the virtual
+    clock, repair dead links and holes, drop backpointers with dead
+    sources, expire stale pointers.  [Audit.run] must be clean after
+    this, churn or not. *)

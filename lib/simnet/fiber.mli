@@ -34,6 +34,11 @@ val run : t -> unit
 val run_until : t -> float -> unit
 (** Run events scheduled strictly up to the given virtual time. *)
 
+val next_event_time : t -> float
+(** Virtual time of the earliest queued event, [infinity] when the queue
+    is empty.  The serve tier's shard pump interleaves fiber events with
+    its own transport heap by comparing heads, which needs this peek. *)
+
 val stalled_fibers : t -> int
 (** Number of fibers that started but neither finished nor are queued —
     i.e. blocked forever on ivars.  0 after a clean [run]. *)

@@ -156,3 +156,99 @@ module Table = struct
     let line row = String.concat "," (List.map quote row) in
     String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"
 end
+
+(* HDR-style log-bucketed latency histogram (serve tier).
+
+   Values are hashed to a bucket by [frexp]: the exponent selects an
+   octave, the top 5 mantissa bits select one of 32 sub-buckets, so the
+   relative quantile error is bounded by 1/64 (~1.6%) at any magnitude.
+   Everything is plain int counters over a fixed 2048-slot array:
+   [add] allocates nothing, [merge] is element-wise addition (assoc-
+   commutative, so per-shard histograms merged in a fixed shard order
+   are bit-identical whatever the domain count), and [counts] is the
+   whole determinism signature. *)
+module Hist = struct
+  let sub_bits = 5
+  let sub = 1 lsl sub_bits (* 32 sub-buckets per octave *)
+  let e_min = -32 (* values below ~2.3e-10 clamp to bucket 0 *)
+  let e_max = 31 (* values >= 2^31 clamp to the last bucket *)
+  let buckets = (e_max - e_min + 1) * sub
+
+  type h = {
+    counts : int array;
+    mutable total : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create () =
+    { counts = Array.make buckets 0; total = 0; sum = 0.; vmin = infinity;
+      vmax = neg_infinity }
+
+  let bucket_of v =
+    if v <= 0. then 0
+    else begin
+      let m, e = Float.frexp v in
+      (* m in [0.5, 1): 32 equal mantissa strips *)
+      let si = int_of_float ((m -. 0.5) *. float_of_int (2 * sub)) in
+      let si = if si >= sub then sub - 1 else if si < 0 then 0 else si in
+      if e < e_min then 0
+      else if e > e_max then buckets - 1
+      else ((e - e_min) * sub) + si
+    end
+
+  (* lower edge of a bucket: the conservative quantile representative *)
+  let value_of b =
+    let e = (b / sub) + e_min and si = b mod sub in
+    Float.ldexp (0.5 +. (float_of_int si /. float_of_int (2 * sub))) e
+
+  let add t v =
+    let b = bucket_of v in
+    t.counts.(b) <- t.counts.(b) + 1;
+    t.total <- t.total + 1;
+    t.sum <- t.sum +. v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let merge ~into t =
+    for b = 0 to buckets - 1 do
+      into.counts.(b) <- into.counts.(b) + t.counts.(b)
+    done;
+    into.total <- into.total + t.total;
+    into.sum <- into.sum +. t.sum;
+    if t.vmin < into.vmin then into.vmin <- t.vmin;
+    if t.vmax > into.vmax then into.vmax <- t.vmax
+
+  let total t = t.total
+
+  let mean t = if t.total = 0 then 0. else t.sum /. float_of_int t.total
+
+  let min_value t = if t.total = 0 then 0. else t.vmin
+
+  let max_value t = if t.total = 0 then 0. else t.vmax
+
+  (* nearest-rank on the cumulative bucket counts *)
+  let quantile t p =
+    if t.total = 0 then 0.
+    else begin
+      let target = int_of_float (ceil (p *. float_of_int t.total)) in
+      let target = if target < 1 then 1 else target in
+      let rec walk b seen =
+        if b >= buckets then t.vmax
+        else
+          let seen = seen + t.counts.(b) in
+          if seen >= target then value_of b else walk (b + 1) seen
+      in
+      walk 0 0
+    end
+
+  let counts t = Array.copy t.counts
+
+  let equal a b =
+    a.total = b.total
+    && (let rec eq b' =
+          b' >= buckets || (a.counts.(b') = b.counts.(b') && eq (b' + 1))
+        in
+        eq 0)
+end

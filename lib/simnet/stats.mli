@@ -49,3 +49,41 @@ end
 
 val fmt_float : float -> string
 (** Compact float formatting for table cells. *)
+
+(** HDR-style log-bucketed histogram for the serve tier's latency tails.
+
+    Fixed 2048 int buckets (64 binary octaves x 32 mantissa strips), so
+    {!Hist.add} allocates nothing and any quantile is within 1/64
+    relative error.  {!Hist.merge} is element-wise addition — per-shard
+    histograms merged in a fixed order are bit-identical whatever the
+    domain count — and {!Hist.counts} is the determinism signature the
+    serve tests compare. *)
+module Hist : sig
+  type h
+
+  val create : unit -> h
+
+  val add : h -> float -> unit
+  (** Record one sample (non-positive values clamp to the first bucket). *)
+
+  val merge : into:h -> h -> unit
+
+  val total : h -> int
+
+  val mean : h -> float
+
+  val min_value : h -> float
+
+  val max_value : h -> float
+
+  val quantile : h -> float -> float
+  (** [quantile t p] with [p] in [\[0,1\]]: nearest-rank over the bucket
+      cumulative counts, answering the bucket's lower edge (conservative
+      to within one 1/64-wide bucket).  0 on an empty histogram. *)
+
+  val counts : h -> int array
+  (** Copy of the raw bucket counters. *)
+
+  val equal : h -> h -> bool
+  (** Same total and identical bucket counters. *)
+end

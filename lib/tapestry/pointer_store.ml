@@ -109,6 +109,14 @@ let exists_guid_match t guid ~f =
       | None -> false
       | Some l -> List.exists f l)
 
+let iter_guid t guid ~f =
+  match t.tables with
+  | None -> ()
+  | Some tb -> (
+      match Node_id.Tbl.find_opt tb.by_guid guid with
+      | None -> ()
+      | Some l -> List.iter f l)
+
 let remove t ~guid ~server ~root_idx =
   match t.tables with
   | None -> false

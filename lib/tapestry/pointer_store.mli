@@ -39,6 +39,11 @@ val exists_guid_match : t -> Node_id.t -> f:(record -> bool) -> bool
     early exit (and O(1) on an empty store) — the locate walk's per-hop
     pointer probe, where {!find_guid}'s list build would dominate. *)
 
+val iter_guid : t -> Node_id.t -> f:(record -> unit) -> unit
+(** Visit every record of this GUID without building a list (secondary-
+    index order: latest stored first, deterministic for a deterministic
+    mutation history).  The serve tier's closest-usable-server scan. *)
+
 val remove : t -> guid:Node_id.t -> server:Node_id.t -> root_idx:int -> bool
 
 val remove_guid : t -> Node_id.t -> int

@@ -1,0 +1,235 @@
+(* Serving-runtime tier tests (DESIGN.md section 9):
+
+   - the Zipf sampler's empirical rank frequencies match the harmonic
+     weights at 1e5 draws;
+   - mailbox ring semantics: bounded overflow, FIFO order through
+     msg_index/advance, generation reuse after kill, growth;
+   - the serve engine is bit-identical for every domain count (the
+     fixed-64-shard argument, mirroring test_scale_build);
+   - a churned run quiesces to an audit-clean mesh. *)
+
+open Tapestry
+module Rng = Simnet.Rng
+module Workload = Evaluation.Workload
+module Mailbox = Serve.Mailbox
+module Driver = Serve.Driver
+
+(* ---- Zipf sampler ---- *)
+
+let test_zipf_range () =
+  let n = 37 in
+  let z = Workload.zipf ~s:1.1 ~n in
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let r = Workload.zipf_sample z rng in
+    if r < 0 || r >= n then
+      Alcotest.failf "zipf_sample out of range: %d (n=%d)" r n
+  done
+
+let test_zipf_frequencies () =
+  let n = 50 and s = 0.9 and draws = 100_000 in
+  let z = Workload.zipf ~s ~n in
+  let rng = Rng.create 42 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Workload.zipf_sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* expected weights: (i+1)^-s / H *)
+  let w = Array.init n (fun i -> (float_of_int (i + 1)) ** -.s) in
+  let h = Array.fold_left ( +. ) 0. w in
+  let fd = float_of_int draws in
+  Array.iteri
+    (fun i wi ->
+      let expected = wi /. h *. fd in
+      let got = float_of_int counts.(i) in
+      (* 5-sigma binomial band, plus a floor for the sparse tail *)
+      let sigma = sqrt (expected *. (1. -. (wi /. h))) in
+      let band = Float.max (5. *. sigma) 25. in
+      if Float.abs (got -. expected) > band then
+        Alcotest.failf "rank %d: got %.0f draws, expected %.1f +/- %.1f" i
+          got expected band)
+    w;
+  (* and the rank-frequency slope really is Zipf-ish: the head must
+     dominate the tail by about (n)^s *)
+  let ratio = float_of_int counts.(0) /. float_of_int (max 1 counts.(n - 1)) in
+  let ideal = float_of_int n ** s in
+  Alcotest.(check bool)
+    (Printf.sprintf "head/tail ratio %.1f within 2x of %.1f" ratio ideal)
+    true
+    (ratio > ideal /. 2. && ratio < ideal *. 2.)
+
+let test_zipf_deterministic () =
+  let draw seed =
+    let z = Workload.zipf ~s:0.9 ~n:100 in
+    let rng = Rng.create seed in
+    List.init 1000 (fun _ -> Workload.zipf_sample z rng)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 9) (draw 9)
+
+(* ---- mailbox rings ---- *)
+
+let push_req mb h req =
+  Mailbox.push mb h ~kind:0 ~req ~oi:0 ~level:0 ~prev:(-1) ~src:0
+
+let test_mailbox_bounded_fifo () =
+  let cap = 4 in
+  let mb = Mailbox.create ~cap ~handles:2 in
+  for r = 0 to cap - 1 do
+    Alcotest.(check bool) "push accepted" true (push_req mb 1 (100 + r))
+  done;
+  Alcotest.(check bool) "overflow rejected" false (push_req mb 1 999);
+  Alcotest.(check int) "full" cap (Mailbox.length mb 1);
+  (* FIFO order through msg_index/advance, wrapping across the ring *)
+  for r = 0 to cap - 1 do
+    let i = Mailbox.msg_index mb 1 in
+    Alcotest.(check int) "fifo order" (100 + r) mb.Mailbox.r_req.(i);
+    Mailbox.advance mb 1;
+    (* interleave a push so head wraps past the ring boundary *)
+    if r < 2 then
+      Alcotest.(check bool) "refill accepted" true (push_req mb 1 (200 + r))
+  done;
+  Alcotest.(check int) "wrapped refills" 200 mb.Mailbox.r_req.(Mailbox.msg_index mb 1);
+  Mailbox.advance mb 1;
+  Alcotest.(check int) "wrapped refills" 201 mb.Mailbox.r_req.(Mailbox.msg_index mb 1);
+  Mailbox.advance mb 1;
+  Alcotest.(check int) "drained" 0 (Mailbox.length mb 1);
+  (* handle 0 was never touched *)
+  Alcotest.(check int) "other ring untouched" 0 (Mailbox.length mb 0)
+
+let test_mailbox_generation () =
+  let mb = Mailbox.create ~cap:4 ~handles:3 in
+  let g0 = Mailbox.generation mb 2 in
+  ignore (push_req mb 2 7 : bool);
+  Mailbox.set_busy mb 2 true;
+  Alcotest.(check bool) "busy" true (Mailbox.is_busy mb 2);
+  Mailbox.kill mb 2;
+  Alcotest.(check int) "ring cleared" 0 (Mailbox.length mb 2);
+  Alcotest.(check bool) "busy reset" false (Mailbox.is_busy mb 2);
+  Alcotest.(check bool) "generation bumped" true (Mailbox.generation mb 2 > g0);
+  (* the slot is reusable by a churn join under the new generation *)
+  Alcotest.(check bool) "reuse accepted" true (push_req mb 2 8);
+  Alcotest.(check int) "reused head" 8 mb.Mailbox.r_req.(Mailbox.msg_index mb 2)
+
+let test_mailbox_growth () =
+  let mb = Mailbox.create ~cap:4 ~handles:2 in
+  ignore (push_req mb 0 1 : bool);
+  ignore (push_req mb 1 2 : bool);
+  let g1 = Mailbox.generation mb 1 in
+  Mailbox.ensure mb ~handles:50;
+  Alcotest.(check bool) "grew" true (mb.Mailbox.handles >= 50);
+  Alcotest.(check int) "contents preserved (h0)" 1
+    mb.Mailbox.r_req.(Mailbox.msg_index mb 0);
+  Alcotest.(check int) "contents preserved (h1)" 2
+    mb.Mailbox.r_req.(Mailbox.msg_index mb 1);
+  Alcotest.(check int) "generation preserved" g1 (Mailbox.generation mb 1);
+  Alcotest.(check int) "new ring empty" 0 (Mailbox.length mb 49);
+  Alcotest.(check bool) "new ring usable" true (push_req mb 49 3)
+
+(* ---- serve engine ---- *)
+
+(* Driver.run mutates the mesh (pointers, replicas, churn), so every run
+   gets a freshly built, identically seeded network. *)
+let build_net n seed =
+  let rng = Rng.create seed in
+  let metric = Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng in
+  let net, _stats = Static_build.build_streamed ~seed:(seed + 1) Config.default metric ~n in
+  net
+
+let fake_clock () =
+  let c = ref 0. in
+  fun () ->
+    c := !c +. 1.;
+    !c
+
+let serve_params =
+  {
+    Driver.default with
+    Driver.requests = 4_000;
+    rate = 40_000.;
+    objects = 200;
+    window = 0.02;
+  }
+
+let run_serve ?(params = serve_params) ~domains () =
+  let net = build_net 256 42 in
+  let r = Driver.run ~net { params with Driver.domains } ~now:(fake_clock ()) in
+  (net, r)
+
+let test_serve_determinism () =
+  let _, r1 = run_serve ~domains:1 () in
+  let _, r3 = run_serve ~domains:3 () in
+  let _, r4 = run_serve ~domains:4 () in
+  let _, r0 = run_serve ~domains:0 () in
+  Alcotest.(check bool) "requests completed" true (r1.Driver.completed > 0);
+  let s1 = Driver.signature r1 in
+  Alcotest.(check string) "1 domain = 3 domains" s1 (Driver.signature r3);
+  Alcotest.(check string) "1 domain = 4 domains" s1 (Driver.signature r4);
+  Alcotest.(check string) "1 domain = auto domains" s1 (Driver.signature r0)
+
+let test_serve_accounting () =
+  let _, r = run_serve ~domains:2 () in
+  Alcotest.(check int) "every request injected" serve_params.Driver.requests
+    r.Driver.injected;
+  (* [failed] is the terminal counter: it already covers requests that
+     ended by drop or dead letter (those message counters may also tick
+     for fire-and-forget chains), so completion + failure is exhaustive *)
+  Alcotest.(check int) "every request resolved"
+    r.Driver.injected
+    (r.Driver.completed + r.Driver.failed);
+  Alcotest.(check bool) "messages flowed" true
+    (r.Driver.delivered >= r.Driver.injected)
+
+let test_serve_churn_audit_clean () =
+  let params =
+    { serve_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let net, r = run_serve ~params ~domains:3 () in
+  Alcotest.(check bool) "churn actually fired" true (r.Driver.kills > 0);
+  Serve.Shard.quiesce r.Driver.engine ~clock:(r.Driver.duration_v +. 1.);
+  let report = Audit.run net in
+  if not (Audit.is_clean report) then
+    Alcotest.failf "churned serve mesh not audit-clean: %s"
+      (Format.asprintf "%a" Audit.pp_report report)
+
+let test_serve_churn_determinism () =
+  let params =
+    { serve_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let _, r1 = run_serve ~params ~domains:1 () in
+  let _, r5 = run_serve ~params ~domains:5 () in
+  Alcotest.(check string) "churned run domain-invariant"
+    (Driver.signature r1) (Driver.signature r5)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "samples in range" `Quick test_zipf_range;
+          Alcotest.test_case "rank frequencies match harmonic weights"
+            `Quick test_zipf_frequencies;
+          Alcotest.test_case "seeded and deterministic" `Quick
+            test_zipf_deterministic;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "bounded overflow + FIFO via msg_index/advance"
+            `Quick test_mailbox_bounded_fifo;
+          Alcotest.test_case "kill bumps generation, slot reusable" `Quick
+            test_mailbox_generation;
+          Alcotest.test_case "ensure-growth preserves contents" `Quick
+            test_mailbox_growth;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "bit-identical for any domain count" `Quick
+            test_serve_determinism;
+          Alcotest.test_case "request accounting balances" `Quick
+            test_serve_accounting;
+          Alcotest.test_case "churned run quiesces audit-clean" `Quick
+            test_serve_churn_audit_clean;
+          Alcotest.test_case "churned run domain-invariant" `Quick
+            test_serve_churn_determinism;
+        ] );
+    ]

@@ -16,6 +16,15 @@
    got slower" (1) from "the mesh got bigger" (3).  Wall-clock fields
    are reported but never gate: they measure the machine, not the code.
 
+   Files carrying a "serve" array (written by `tapestry_sim serve`) are
+   compared point by point, keyed by the workload shape
+   (n / zipf_s / churn rates), under --serve-threshold (default 20%).
+   Two metrics gate: throughput_rps (LOWER is worse) and p99_virtual
+   (higher is worse); the remaining quantiles and counters are
+   reported as info.  A serve-only regression exits 4, so a caller can
+   tell "the hot path got slower" (1) from "the mesh got bigger" (3)
+   from "the serving runtime degraded" (4).
+
    [--advisory] keeps all reports but always exits 0: the escape hatch
    for noisy shared machines, where a short run's jitter can cross any
    reasonable threshold.  Exit 2 is reserved for configuration errors
@@ -23,8 +32,8 @@
    from "broken". *)
 
 let usage =
-  "bench_compare [--threshold PCT] [--scale-threshold PCT] [--advisory] \
-   BASELINE.json CURRENT.json"
+  "bench_compare [--threshold PCT] [--scale-threshold PCT] \
+   [--serve-threshold PCT] [--advisory] BASELINE.json CURRENT.json"
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -123,8 +132,82 @@ let compare_scale ~threshold base cur =
     !regressed
   end
 
+(* Serve points are keyed by workload shape: same n, Zipf exponent and
+   churn rates must describe the same experiment before latency or
+   throughput are comparable. *)
+let serve_points j =
+  match Simnet.Json.member "serve" j with
+  | Some (Simnet.Json.List pts) ->
+      List.filter_map
+        (fun p ->
+          let get f = Option.bind (Simnet.Json.member f p) num in
+          match get "n" with
+          | Some n ->
+              let key =
+                Printf.sprintf "n=%d s=%g churn=%g/%g" (int_of_float n)
+                  (Option.value (get "zipf_s") ~default:0.)
+                  (Option.value (get "kill_rate") ~default:0.)
+                  (Option.value (get "join_rate") ~default:0.)
+              in
+              Some (key, p)
+          | None -> None)
+        pts
+  | _ -> []
+
+(* gated serve metrics with their "worse" direction: throughput falling
+   and tail latency rising are both regressions *)
+let serve_gated = [ ("throughput_rps", `Lower_worse); ("p99_virtual", `Higher_worse) ]
+
+let serve_reported =
+  [ "throughput_rps"; "p50_virtual"; "p99_virtual"; "p999_virtual"; "wall_s" ]
+
+let compare_serve ~threshold base cur =
+  let bpts = serve_points base and cpts = serve_points cur in
+  if bpts = [] || cpts = [] then 0
+  else begin
+    let regressed = ref 0 in
+    Printf.printf "\n%-28s %-16s %12s %12s %8s\n" "serve point" "metric"
+      "baseline" "current" "ratio";
+    List.iter
+      (fun (key, bp) ->
+        match List.assoc_opt key cpts with
+        | None ->
+            Printf.printf "%-28s %-16s %12s %12s %8s\n" key "-" "-" "-" "gone"
+        | Some cp ->
+            List.iter
+              (fun field ->
+                match
+                  ( Option.bind (Simnet.Json.member field bp) num,
+                    Option.bind (Simnet.Json.member field cp) num )
+                with
+                | Some b, Some c when b > 0. && c > 0. ->
+                    let ratio = c /. b in
+                    let flag =
+                      match List.assoc_opt field serve_gated with
+                      | None -> "  (info)"
+                      | Some dir ->
+                          let worse =
+                            match dir with
+                            | `Higher_worse -> ratio
+                            | `Lower_worse -> b /. c
+                          in
+                          if worse > 1. +. (threshold /. 100.) then begin
+                            incr regressed;
+                            "  REGRESSED"
+                          end
+                          else ""
+                    in
+                    Printf.printf "%-28s %-16s %12.1f %12.1f %7.2fx%s\n" key
+                      field b c ratio flag
+                | _ -> ())
+              serve_reported)
+      bpts;
+    !regressed
+  end
+
 let () =
   let threshold = ref 25.0 in
+  let serve_threshold = ref 20.0 in
   let scale_threshold = ref 15.0 in
   let advisory = ref false in
   let files = ref [] in
@@ -139,6 +222,11 @@ let () =
         (match float_of_string_opt v with
         | Some t when t >= 0. -> scale_threshold := t
         | _ -> fail "bench_compare: bad scale threshold %S" v);
+        parse_args rest
+    | "--serve-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> serve_threshold := t
+        | _ -> fail "bench_compare: bad serve threshold %S" v);
         parse_args rest
     | "--advisory" :: rest ->
         advisory := true;
@@ -197,4 +285,14 @@ let () =
     if !advisory then
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 3
+  end;
+  let serve_regressed =
+    compare_serve ~threshold:!serve_threshold base_doc cur_doc
+  in
+  if serve_regressed > 0 then begin
+    Printf.printf "%d serve metric(s) regressed more than %g%% vs %s\n"
+      serve_regressed !serve_threshold base_file;
+    if !advisory then
+      print_endline "bench_compare: advisory mode, not failing the check"
+    else exit 4
   end

@@ -6,7 +6,7 @@
 # can attribute the failure without scraping output:
 #   10 build        11 tests          12 syntactic lint
 #   13 typed lint   14 bench smoke    15 bench gate
-#   16 scale smoke
+#   16 scale smoke  17 serve smoke
 #
 # The bench gate compares a short run against the committed
 # BENCH_baseline.json and fails if any paired op regressed more than
@@ -20,18 +20,42 @@
 # BENCH_scale.json has a matching size — gated by bench_compare's
 # scale thresholds.  Kept out of the default stage list because a
 # minute of mesh building is too slow for the inner edit loop.
+#
+# ./tools/check.sh --serve-smoke runs ONLY the serving-runtime smoke:
+# a n=4096 mesh serving 1e5 Zipf requests through `tapestry_sim serve`
+# (<60s), JSON round-tripped through the bench parser and — when a
+# committed BENCH_serve.json has a matching workload point — gated by
+# bench_compare's serve thresholds (throughput down / p99 up).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 advisory=""
 scale_smoke=0
+serve_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --advisory) advisory="--advisory" ;;
     --scale-smoke) scale_smoke=1 ;;
-    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke]" >&2; exit 2 ;;
+    --serve-smoke) serve_smoke=1 ;;
+    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke] [--serve-smoke]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$serve_smoke" = 1 ]; then
+  dune build bin/tapestry_sim.exe bench/main.exe \
+    tools/bench_compare/bench_compare.exe || exit 10
+  tmp_serve=$(mktemp /tmp/serve_smoke.XXXXXX.json)
+  trap 'rm -f "$tmp_serve"' EXIT
+  dune exec bin/tapestry_sim.exe -- serve --size 4096 --requests 100000 \
+    --json "$tmp_serve" || exit 17
+  dune exec bench/main.exe -- --check-json "$tmp_serve" || exit 17
+  if [ -f BENCH_serve.json ]; then
+    dune exec tools/bench_compare/bench_compare.exe -- \
+      $advisory BENCH_serve.json "$tmp_serve" || exit 17
+  fi
+  echo "check: serve smoke (n=4096, 1e5 Zipf requests + JSON round-trip) clean"
+  exit 0
+fi
 
 if [ "$scale_smoke" = 1 ]; then
   dune build bin/tapestry_sim.exe bench/main.exe \

@@ -18,7 +18,9 @@ let usage = "lint_typed [--allowlist FILE] CMT-ROOT..."
 
 (* The per-message inner loops plus the non-Oracle parts of the
    insertion pipeline (DESIGN.md "hot paths"); [Oracle] submodules are
-   exempted inside Alloc_check itself. *)
+   exempted inside Alloc_check itself.  The serve tier's drain/dispatch
+   path (mailbox rings + actor loop) is hot too: it executes once per
+   delivered message, millions of times per campaign. *)
 let hot_path_sources =
   [
     "lib/tapestry/route.ml";
@@ -27,6 +29,8 @@ let hot_path_sources =
     "lib/tapestry/multicast.ml";
     "lib/tapestry/insert.ml";
     "lib/tapestry/scratch.ml";
+    "lib/serve/mailbox.ml";
+    "lib/serve/actor.ml";
   ]
 
 let is_hot source =
