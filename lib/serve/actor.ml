@@ -15,7 +15,34 @@
    closest-replica rule); 1 FETCH completes at the server iff it still
    stores the replica; 2 PUBLISH deposits a pointer per hop with the
    previous-hop backlink (Figure 2 / Figure 9's "previous"), completing
-   at the root; 3 UNPUBLISH retracts along the same walk.
+   at the root; 3 UNPUBLISH retracts along the same walk; 4 LOCATE_NC is
+   the cache-free locate a request falls back to after exhausting its
+   stale-redirect budget.
+
+   Object caching (PR 9, DESIGN.md section 10).  With [cache = Some _],
+   every LOCATE hop records itself in the request's path slice and
+   probes its own node's cache line before the pointer store; a valid
+   entry (matching object epoch, matching server mailbox generation,
+   alive server) redirects a FETCH immediately.  A successful FETCH logs
+   fill intents for every recorded path node — applied at the next
+   barrier in shard order, so cross-node cache state stays bit-identical
+   for any [--domains].  Fills are ONLY sourced from successful fetches:
+   the server is authoritative for its own replica set, so an
+   epoch-current cache entry can name a replica-less server only within
+   the window of the racing unpublish (whose epoch bump lands at that
+   same barrier), never at a quiescent audit point.  A FETCH that
+   arrives after the replica left retracts the offending entry (evict
+   intent) and resumes the climb from the server with its redirect
+   count bumped; after [rc_max] such redirects it switches to LOCATE_NC.
+   LOCATE packs that redirect count into the level field's high bits —
+   zero at [--cache 0], keeping every message byte-identical to the
+   uncached engine.
+
+   The same recovery makes zero-churn serving loss-free: the uncached
+   engine fails a request whose pointer-redirected FETCH races an
+   in-flight unpublish retraction (BENCH_serve.json's `failed` at
+   kill_rate=0); with caching on, that fetch re-climbs from the server
+   instead of failing.
 
    Shard confinement: a dispatch only mutates state owned by the shard
    it runs on (the target node's pointer store / replica set — nodes are
@@ -39,6 +66,17 @@ let op_locate = 0
 let op_fetch = 1
 let op_publish = 2
 let op_unpublish = 3
+let op_locate_nc = 4
+
+(* LOCATE level packing: low bits walk level, high bits redirect count.
+   FETCH reuses the level field for the redirect count alone. *)
+let rc_shift = 8
+let level_mask = (1 lsl rc_shift) - 1
+let rc_max = 2
+
+(* Recorded locate hops per request (fill-intent targets).  Walks are
+   O(log n) = [digits]; the slack covers recovery re-climbs. *)
+let path_cap = 12
 
 (* request_status values (one byte per request) *)
 let st_pending = '\000'
@@ -63,6 +101,16 @@ type shared = {
   req_status : Bytes.t;
   wall : float array;  (* wall.(0): stamp of the current window, barrier-written *)
   mutable dirty : Bytes.t;  (* per handle: 1 if queued for dead-entry repair *)
+  cache : Obj_cache.t option;
+      (* per-node object caches; probes/touches are own-line (shard-
+         confined), cross-node fills/evicts/epoch bumps ride the ctx
+         intent buffers to the barrier *)
+  req_path : int array;
+      (* requests * path_cap recorded locate hops; a request's hops are
+         causally ordered across shards (cross-shard delivery waits for
+         the barrier), so these disjoint-slice writes are race-free.
+         Empty at --cache 0. *)
+  req_plen : Bytes.t;  (* per request: hops recorded (saturates at path_cap) *)
 }
 
 type ctx = {
@@ -92,11 +140,26 @@ type ctx = {
   mutable cur : Node.t;  (* node whose dispatch is running *)
   mutable sel : Pointer_store.record -> unit;
       (* preallocated best-server folder; assigned once in [make_ctx] *)
+  tally : Simnet.Stats.Tally.t;  (* cache hit/miss/stale/... counters *)
+  (* barrier-applied cache intent buffers (parallel arrays) *)
+  mutable fi_h : int array;  (* fill: target cache line *)
+  mutable fi_key : int array;
+  mutable fi_srv : int array;
+  mutable fi_gen : int array;
+  mutable fi_epoch : int array;  (* epoch snapshot at intent-log time *)
+  mutable fi_len : int;
+  mutable ev_h : int array;  (* evict: holder line *)
+  mutable ev_key : int array;
+  mutable ev_srv : int array;  (* only retract if still naming this server *)
+  mutable ev_len : int;
+  mutable ep_key : int array;  (* epoch bumps (unpublish origins) *)
+  mutable ep_srv : int array;  (* ... of this retracting server *)
+  mutable ep_len : int;
 }
 
 (* [@alloc_ok]: one shared record per run. *)
 let[@alloc_ok] make_shared ~net ~mb ~shards ~guids ~roots ~ttl ~latency
-    ~service ~requests =
+    ~service ~requests ~cache =
   let cfg = net.Network.config in
   {
     net;
@@ -114,6 +177,13 @@ let[@alloc_ok] make_shared ~net ~mb ~shards ~guids ~roots ~ttl ~latency
     req_status = Bytes.make (max requests 1) st_pending;
     wall = Array.make 1 0.;
     dirty = Bytes.make (max net.Network.arena_len 1) '\000';
+    cache;
+    req_path =
+      (match cache with
+      | Some _ -> Array.make (max requests 1 * path_cap) 0
+      | None -> [||]);
+    req_plen =
+      Bytes.make (match cache with Some _ -> max requests 1 | None -> 1) '\000';
   }
 
 (* [@alloc_ok]: one ctx record (plus its selector closure) per shard per
@@ -146,6 +216,20 @@ let[@alloc_ok] make_ctx sh ~shard ~rng =
       pred_now = 0.;
       cur = Network.node_of_handle sh.net 0;
       sel = (fun _ -> ());
+      tally = Simnet.Stats.Tally.create ();
+      fi_h = [||];
+      fi_key = [||];
+      fi_srv = [||];
+      fi_gen = [||];
+      fi_epoch = [||];
+      fi_len = 0;
+      ev_h = [||];
+      ev_key = [||];
+      ev_srv = [||];
+      ev_len = 0;
+      ep_key = [||];
+      ep_srv = [||];
+      ep_len = 0;
     }
   in
   (ctx.sel <-
@@ -288,33 +372,178 @@ let hop ctx (node : Node.t) ~now ~h ~kind ~req ~oi ~level ~prev ~src =
   Cost.send ctx.cost ~dist:d;
   send ctx ~time:(now +. (sh.latency *. d)) ~h ~kind ~req ~oi ~level ~prev ~src
 
-let dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
+(* ---- cache intent buffers: logged mid-window, applied at the barrier
+   in shard order (Shard.apply_cache_intents) ---- *)
+
+(* [@alloc_ok]: the buffers double rarely; pushes are int stores. *)
+let[@alloc_ok] grow_int a len =
+  if len >= Array.length a then begin
+    let b = Array.make (max 16 (2 * Array.length a)) 0 in
+    Array.blit a 0 b 0 len;
+    b
+  end
+  else a
+
+let push_fill ctx ~h ~key ~srv ~gen ~epoch =
+  ctx.fi_h <- grow_int ctx.fi_h ctx.fi_len;
+  ctx.fi_key <- grow_int ctx.fi_key ctx.fi_len;
+  ctx.fi_srv <- grow_int ctx.fi_srv ctx.fi_len;
+  ctx.fi_gen <- grow_int ctx.fi_gen ctx.fi_len;
+  ctx.fi_epoch <- grow_int ctx.fi_epoch ctx.fi_len;
+  ctx.fi_h.(ctx.fi_len) <- h;
+  ctx.fi_key.(ctx.fi_len) <- key;
+  ctx.fi_srv.(ctx.fi_len) <- srv;
+  ctx.fi_gen.(ctx.fi_len) <- gen;
+  ctx.fi_epoch.(ctx.fi_len) <- epoch;
+  ctx.fi_len <- ctx.fi_len + 1
+
+let push_evict ctx ~h ~key ~srv =
+  ctx.ev_h <- grow_int ctx.ev_h ctx.ev_len;
+  ctx.ev_key <- grow_int ctx.ev_key ctx.ev_len;
+  ctx.ev_srv <- grow_int ctx.ev_srv ctx.ev_len;
+  ctx.ev_h.(ctx.ev_len) <- h;
+  ctx.ev_key.(ctx.ev_len) <- key;
+  ctx.ev_srv.(ctx.ev_len) <- srv;
+  ctx.ev_len <- ctx.ev_len + 1
+
+let push_epoch ctx ~key ~srv =
+  ctx.ep_key <- grow_int ctx.ep_key ctx.ep_len;
+  ctx.ep_srv <- grow_int ctx.ep_srv ctx.ep_len;
+  ctx.ep_key.(ctx.ep_len) <- key;
+  ctx.ep_srv.(ctx.ep_len) <- srv;
+  ctx.ep_len <- ctx.ep_len + 1
+
+(* Pointer probe + surrogate climb, shared by LOCATE (after a cache miss)
+   and LOCATE_NC.  [wl] is the walk level, [rc] the request's redirect
+   count (re-packed into outgoing locate levels; 0 when cache is off, so
+   the uncached message stream is untouched). *)
+let locate_climb ctx (node : Node.t) ~now ~req ~oi ~wl ~rc ~src ~base_guid ~nc =
+  let sh = ctx.sh in
+  (* a usable pointer redirects the walk to the closest live server *)
+  ctx.pred_now <- now;
+  ctx.cur <- node;
+  ctx.best_h <- -1;
+  ctx.best_d <- infinity;
+  Pointer_store.iter_guid node.Node.pointers base_guid ~f:ctx.sel;
+  if ctx.best_h >= 0 then
+    hop ctx node ~now ~h:ctx.best_h ~kind:op_fetch ~req ~oi ~level:rc
+      ~prev:(-1) ~src:ctx.best_h
+  else begin
+    next_hop ctx node sh.guids.(oi) wl;
+    if ctx.scan_h >= 0 then
+      hop ctx node ~now ~h:ctx.scan_h
+        ~kind:(if nc then op_locate_nc else op_locate)
+        ~req ~oi
+        ~level:
+          (if nc then ctx.scan_level
+           else ctx.scan_level lor (rc lsl rc_shift))
+        ~prev:(-1) ~src
+    else
+      (* reached the root without intersecting a publish path *)
+      complete_failed ctx ~req
+  end
+
+let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
   let sh = ctx.sh in
   let base_oi = oi - (oi mod sh.roots) in
   let base_guid = sh.guids.(base_oi) in
   if kind = op_locate then begin
-    (* a usable pointer redirects the walk to the closest live server *)
-    ctx.pred_now <- now;
-    ctx.cur <- node;
-    ctx.best_h <- -1;
-    ctx.best_d <- infinity;
-    Pointer_store.iter_guid node.Node.pointers base_guid ~f:ctx.sel;
-    if ctx.best_h >= 0 then
-      hop ctx node ~now ~h:ctx.best_h ~kind:op_fetch ~req ~oi ~level:0
-        ~prev:(-1) ~src:ctx.best_h
-    else begin
-      next_hop ctx node sh.guids.(oi) level;
-      if ctx.scan_h >= 0 then
-        hop ctx node ~now ~h:ctx.scan_h ~kind:op_locate ~req ~oi
-          ~level:ctx.scan_level ~prev:(-1) ~src
-      else
-        (* reached the root without intersecting a publish path *)
-        complete_failed ctx ~req
-    end
+    let wl = level land level_mask in
+    let rc = level lsr rc_shift in
+    match sh.cache with
+    | None -> locate_climb ctx node ~now ~req ~oi ~wl ~rc ~src ~base_guid ~nc:false
+    | Some c ->
+        (* record this hop for the fill unwind *)
+        if req >= 0 then begin
+          let plen = Char.code (Bytes.get sh.req_plen req) in
+          if plen < path_cap then begin
+            sh.req_path.((req * path_cap) + plen) <- node.Node.handle;
+            Bytes.set sh.req_plen req (Char.chr (plen + 1))
+          end
+        end;
+        let key = base_oi / sh.roots in
+        let i = Obj_cache.probe c ~h:node.Node.handle ~key in
+        if i >= 0 then begin
+          let srv = Obj_cache.probe_srv c i in
+          if
+            Mailbox.generation sh.mb srv = Obj_cache.probe_gen c i
+            && Node.is_alive (Network.node_of_handle sh.net srv)
+          then begin
+            (* epoch, generation and liveness all current: redirect.
+               [prev] carries this holder so a lying entry can be
+               retracted by the fetch. *)
+            ctx.tally.hits <- ctx.tally.hits + 1;
+            hop ctx node ~now ~h:srv ~kind:op_fetch ~req ~oi ~level:rc
+              ~prev:node.Node.handle ~src:srv
+          end
+          else begin
+            (* the server died (handles are never reused, so a
+               generation mismatch means the same): own-line evict *)
+            Obj_cache.evict_at c i;
+            ctx.tally.stale <- ctx.tally.stale + 1;
+            ctx.tally.evicts <- ctx.tally.evicts + 1;
+            locate_climb ctx node ~now ~req ~oi ~wl ~rc ~src ~base_guid
+              ~nc:false
+          end
+        end
+        else begin
+          if i = -2 then begin
+            (* epoch-stale entry self-evicted by the probe *)
+            ctx.tally.stale <- ctx.tally.stale + 1;
+            ctx.tally.evicts <- ctx.tally.evicts + 1
+          end
+          else ctx.tally.misses <- ctx.tally.misses + 1;
+          locate_climb ctx node ~now ~req ~oi ~wl ~rc ~src ~base_guid ~nc:false
+        end
   end
   else if kind = op_fetch then begin
-    if Node.stores_replica node base_guid then complete_ok ctx ~now ~req
-    else complete_failed ctx ~req
+    if Node.stores_replica node base_guid then begin
+      complete_ok ctx ~now ~req;
+      (* unwind: offer this server to every recorded hop of the path.
+         The epoch snapshot is taken NOW — a racing unpublish's bump is
+         applied before fills at the barrier, so such a fill lands
+         already-stale instead of masking the retraction. *)
+      match sh.cache with
+      | Some c when req >= 0 ->
+          let key = base_oi / sh.roots in
+          let self = node.Node.handle in
+          let ep = Obj_cache.epoch_of c ~key ~srv:self in
+          let gen = Mailbox.generation sh.mb self in
+          let plen = Char.code (Bytes.get sh.req_plen req) in
+          for k = 0 to plen - 1 do
+            let tgt = sh.req_path.((req * path_cap) + k) in
+            if tgt <> self then begin
+              push_fill ctx ~h:tgt ~key ~srv:self ~gen ~epoch:ep;
+              ctx.tally.fills <- ctx.tally.fills + 1
+            end
+          done
+      | _ -> ()
+    end
+    else begin
+      (* the replica left between redirect and arrival (cached shortcut
+         gone stale, or a pointer racing its unpublish retraction) *)
+      let rc = level in
+      match sh.cache with
+      | Some _ when rc < rc_max ->
+          if prev >= 0 then begin
+            (* retract the lying entry at its holder *)
+            push_evict ctx ~h:prev ~key:(base_oi / sh.roots)
+              ~srv:node.Node.handle;
+            ctx.tally.stale <- ctx.tally.stale + 1;
+            ctx.tally.evicts <- ctx.tally.evicts + 1
+          end;
+          (* recover: resume the search from this server instead of
+             failing the request; after rc_max redirects, cache-free *)
+          ctx.tally.recoveries <- ctx.tally.recoveries + 1;
+          let rc = rc + 1 in
+          if rc >= rc_max then
+            dispatch ctx node ~now ~kind:op_locate_nc ~req ~oi ~level:0
+              ~prev:(-1) ~src
+          else
+            dispatch ctx node ~now ~kind:op_locate ~req ~oi
+              ~level:(rc lsl rc_shift) ~prev:(-1) ~src
+      | _ -> complete_failed ctx ~req
+    end
   end
   else if kind = op_publish then begin
     if prev < 0 then Node.add_replica node base_guid;
@@ -333,9 +562,18 @@ let dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
         ~level:ctx.scan_level ~prev:node.Node.handle ~src
     else complete_ok ctx ~now ~req
   end
-  else begin
-    (* op_unpublish *)
-    if prev < 0 then Node.remove_replica node base_guid;
+  else if kind = op_unpublish then begin
+    if prev < 0 then begin
+      Node.remove_replica node base_guid;
+      (* origin of the retraction: invalidate cached shortcuts naming
+         this (object, server) pair — the origin node IS the server
+         (logged on the base oi only; root walks oi > base_oi share the
+         same key) *)
+      match sh.cache with
+      | Some _ when oi = base_oi ->
+          push_epoch ctx ~key:(base_oi / sh.roots) ~srv:node.Node.handle
+      | _ -> ()
+    end;
     let server_id = (Network.node_of_handle sh.net src).Node.id in
     ignore
       (Pointer_store.remove node.Node.pointers ~guid:base_guid
@@ -346,6 +584,11 @@ let dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
         ~level:ctx.scan_level ~prev:node.Node.handle ~src
     else complete_ok ctx ~now ~req
   end
+  else
+    (* op_locate_nc: the cache-free fallback climb.  Its FETCH carries
+       [rc_max], so a further stale arrival fails plainly. *)
+    locate_climb ctx node ~now ~req ~oi ~wl:level ~rc:rc_max ~src ~base_guid
+      ~nc:true
 
 (* The drain fiber: FIFO over the mailbox, [service] virtual seconds per
    message, until the ring is empty.  The generation is re-checked after

@@ -6,7 +6,18 @@
     closest-replica rule of Section 2.4); FETCH completes at the server
     iff it still stores the replica; PUBLISH deposits soft-state
     pointers along the walk with the previous-hop backlink; UNPUBLISH
-    retracts along the same walk.
+    retracts along the same walk; LOCATE_NC is the cache-free fallback
+    climb a request switches to after exhausting its redirect budget.
+
+    With an {!Tapestry.Obj_cache} attached (PR 9, DESIGN.md section 10),
+    LOCATE probes the hop's own cache line before the pointer store and
+    a valid entry redirects the FETCH immediately.  Cross-node cache
+    mutations (fills from successful fetches, evicts of entries caught
+    lying, epoch bumps at unpublish origins) are logged in per-shard
+    intent buffers and applied at the barrier in shard order, keeping
+    the engine bit-identical for any [--domains].  At [cache = None]
+    every message is byte-identical to the uncached engine (redirect
+    counts pack into LOCATE's level high bits and are then always 0).
 
     Every function here runs on the shard owning the target node and
     touches only that shard's state plus the partitioned per-node
@@ -21,6 +32,14 @@ val op_locate : int
 val op_fetch : int
 val op_publish : int
 val op_unpublish : int
+val op_locate_nc : int
+
+val rc_shift : int
+(** LOCATE packs [walk_level lor (redirect_count lsl rc_shift)]. *)
+
+val rc_max : int
+val path_cap : int
+(** Recorded locate hops per request (fill-intent targets). *)
 
 val st_pending : char
 val st_ok : char
@@ -47,6 +66,15 @@ type shared = {
   req_status : Bytes.t;
   wall : float array;  (** [wall.(0)]: stamp of the window, barrier-written *)
   mutable dirty : Bytes.t;  (** per handle: queued for dead-entry repair? *)
+  cache : Obj_cache.t option;
+      (** per-node object caches; probes and touches stay own-line
+          (shard-confined), cross-node mutations ride the ctx intent
+          buffers to the barrier *)
+  req_path : int array;
+      (** [requests * path_cap] recorded locate hops; a request's hops
+          are causally ordered across shards, so the disjoint-slice
+          writes are race-free.  Empty at [--cache 0]. *)
+  req_plen : Bytes.t;  (** per request: hops recorded (saturates) *)
 }
 
 (** Per-shard private world: scheduler, transport, outbox, RNG, cost and
@@ -77,12 +105,26 @@ type ctx = {
   mutable pred_now : float;
   mutable cur : Node.t;
   mutable sel : Pointer_store.record -> unit;
+  tally : Simnet.Stats.Tally.t;  (** cache hit/miss/stale/... counters *)
+  mutable fi_h : int array;  (** fill intents: target cache line *)
+  mutable fi_key : int array;
+  mutable fi_srv : int array;
+  mutable fi_gen : int array;
+  mutable fi_epoch : int array;  (** epoch snapshot at intent-log time *)
+  mutable fi_len : int;
+  mutable ev_h : int array;  (** evict intents: holder line *)
+  mutable ev_key : int array;
+  mutable ev_srv : int array;  (** retract only if still naming this *)
+  mutable ev_len : int;
+  mutable ep_key : int array;  (** epoch bumps (unpublish origins) *)
+  mutable ep_srv : int array;  (** ... of this retracting server *)
+  mutable ep_len : int;
 }
 
 val make_shared :
   net:Network.t -> mb:Mailbox.t -> shards:int -> guids:Node_id.t array ->
   roots:int -> ttl:float -> latency:float -> service:float ->
-  requests:int -> shared
+  requests:int -> cache:Obj_cache.t option -> shared
 
 val make_ctx : shared -> shard:int -> rng:Simnet.Rng.t -> ctx
 

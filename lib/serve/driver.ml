@@ -39,6 +39,8 @@ type params = {
   kill_rate : float;  (* node failures per virtual second *)
   join_rate : float;  (* churn joins per virtual second *)
   domains : int;  (* <= 0: Parallel.recommended () *)
+  cache_size : int;  (* object-cache ways per node; 0 disables *)
+  cache_policy : Obj_cache.policy;
 }
 
 let default =
@@ -58,6 +60,8 @@ let default =
     kill_rate = 0.;
     join_rate = 0.;
     domains = 0;
+    cache_size = 0;
+    cache_policy = Obj_cache.Clock;
   }
 
 type result = {
@@ -75,6 +79,7 @@ type result = {
   duration_v : float;
   wall_s : float;
   barriers : int;
+  tally : Simnet.Stats.Tally.t;  (* merged cache counters (zeros at --cache 0) *)
 }
 
 (* Per-shard log of (server handle, object) publishes, the unpublish
@@ -218,11 +223,29 @@ let run ~net params ~now =
     ignore
       (Publish.publish net ~server guids.(o * roots) : Publish.outcome)
   done;
+  (* object cache (PR 9): keys are interned in object order up front, so
+     key o = oi / roots for every message and no hot-path interning is
+     needed; the cache is attached to the network so the quiescent-point
+     [Audit.run] sees it *)
+  let cache =
+    if params.cache_size <= 0 then None
+    else begin
+      let c =
+        Obj_cache.create ~ways:params.cache_size ~policy:params.cache_policy
+          ~nodes:net.Network.arena_len
+      in
+      for o = 0 to params.objects - 1 do
+        ignore (Obj_cache.intern c guids.(o * roots) : int)
+      done;
+      net.Network.obj_cache <- Some c;
+      Some c
+    end
+  in
   let t =
     Shard.create ~net ~guids ~roots ~ttl:params.ttl ~latency:params.latency
       ~service:params.service ~requests:params.requests
       ~mailbox_cap:params.mailbox_cap ~seed:params.seed
-      ~window:params.window
+      ~window:params.window ~cache
   in
   let z = Workload.zipf ~s:params.zipf_s ~n:params.objects in
   let per = params.requests / Shard.shard_count in
@@ -251,6 +274,7 @@ let run ~net params ~now =
   in
   Shard.run t ~domains ~now ~on_barrier:(churn_barrier params st);
   let hist_v = Hist.create () and hist_w = Hist.create () in
+  let tally = Simnet.Stats.Tally.create () in
   let injected = ref 0
   and completed = ref 0
   and failed = ref 0
@@ -261,6 +285,7 @@ let run ~net params ~now =
     (fun (ctx : Actor.ctx) ->
       Hist.merge ~into:hist_v ctx.Actor.hist_v;
       Hist.merge ~into:hist_w ctx.Actor.hist_w;
+      Simnet.Stats.Tally.merge ~into:tally ctx.Actor.tally;
       injected := !injected + ctx.Actor.injected;
       completed := !completed + ctx.Actor.completed;
       failed := !failed + ctx.Actor.failed;
@@ -283,17 +308,27 @@ let run ~net params ~now =
     duration_v = st.last_barrier;
     wall_s = now () -. wall0;
     barriers = t.Shard.barriers;
+    tally;
   }
 
 (* Deterministic fingerprint of a run: merged virtual histogram plus the
    integer counters.  Excludes every wall-clock-derived quantity, so it
-   must be bit-identical across domain counts. *)
+   must be bit-identical across domain counts.  Cache counters are
+   appended only when the cache saw traffic, so cache-off signatures
+   match the pre-cache engine's byte for byte. *)
 let signature r =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf "inj=%d comp=%d fail=%d drop=%d dead=%d del=%d k=%d j=%d b=%d dur=%.9f;"
        r.injected r.completed r.failed r.dropped r.dead_letter r.delivered
        r.kills r.joins r.barriers r.duration_v);
+  let tl = r.tally in
+  if Simnet.Stats.Tally.lookups tl + tl.Simnet.Stats.Tally.fills > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "ch=%d cm=%d cs=%d cf=%d ce=%d cr=%d;"
+         tl.Simnet.Stats.Tally.hits tl.Simnet.Stats.Tally.misses
+         tl.Simnet.Stats.Tally.stale tl.Simnet.Stats.Tally.fills
+         tl.Simnet.Stats.Tally.evicts tl.Simnet.Stats.Tally.recoveries);
   Array.iteri
     (fun i c -> if c > 0 then Buffer.add_string b (Printf.sprintf "%d:%d," i c))
     (Hist.counts r.hist_v);

@@ -23,6 +23,10 @@ type params = {
   kill_rate : float;  (** node failures per virtual second *)
   join_rate : float;  (** churn joins per virtual second *)
   domains : int;  (** OS domains; [<= 0] uses [Parallel.recommended] *)
+  cache_size : int;
+      (** {!Obj_cache} ways per node; [0] (the default) disables caching
+          and reproduces the uncached engine's counters bit-identically *)
+  cache_policy : Obj_cache.policy;
 }
 
 val default : params
@@ -44,6 +48,8 @@ type result = {
   duration_v : float;  (** virtual time of the last barrier *)
   wall_s : float;
   barriers : int;
+  tally : Simnet.Stats.Tally.t;
+      (** merged cache counters, all-zero at [cache_size = 0] *)
 }
 
 val run : net:Network.t -> params -> now:(unit -> float) -> result

@@ -31,14 +31,14 @@ type t = {
 }
 
 let create ~net ~guids ~roots ~ttl ~latency ~service ~requests ~mailbox_cap
-    ~seed ~window =
+    ~seed ~window ~cache =
   if window <= 0. then invalid_arg "Shard.create: window <= 0";
   let mb =
     Mailbox.create ~cap:mailbox_cap ~handles:(max net.Network.arena_len 1)
   in
   let sh =
     Actor.make_shared ~net ~mb ~shards:shard_count ~guids ~roots ~ttl
-      ~latency ~service ~requests
+      ~latency ~service ~requests ~cache
   in
   let ctxs =
     Array.init shard_count (fun s ->
@@ -158,11 +158,48 @@ let apply_repairs t =
     ctx.Actor.dirty_len <- 0
   done
 
+(* Apply the windows' buffered cache intents sequentially, in shard
+   order, bumps -> evicts -> fills: a fill whose epoch snapshot predates
+   a same-window unpublish lands already-stale, and an evict cannot be
+   undone by a same-window fill of the entry it just retracted. *)
+let apply_cache_intents t =
+  match t.sh.Actor.cache with
+  | None -> ()
+  | Some c ->
+      for s = 0 to shard_count - 1 do
+        let ctx = t.ctxs.(s) in
+        for i = 0 to ctx.Actor.ep_len - 1 do
+          Obj_cache.bump_epoch c ~key:ctx.Actor.ep_key.(i)
+            ~srv:ctx.Actor.ep_srv.(i)
+        done;
+        ctx.Actor.ep_len <- 0
+      done;
+      for s = 0 to shard_count - 1 do
+        let ctx = t.ctxs.(s) in
+        for i = 0 to ctx.Actor.ev_len - 1 do
+          Obj_cache.evict c ~h:ctx.Actor.ev_h.(i) ~key:ctx.Actor.ev_key.(i)
+            ~server:ctx.Actor.ev_srv.(i)
+        done;
+        ctx.Actor.ev_len <- 0
+      done;
+      for s = 0 to shard_count - 1 do
+        let ctx = t.ctxs.(s) in
+        for i = 0 to ctx.Actor.fi_len - 1 do
+          Obj_cache.insert_snap c ~h:ctx.Actor.fi_h.(i)
+            ~key:ctx.Actor.fi_key.(i) ~server:ctx.Actor.fi_srv.(i)
+            ~gen:ctx.Actor.fi_gen.(i) ~epoch:ctx.Actor.fi_epoch.(i)
+        done;
+        ctx.Actor.fi_len <- 0
+      done
+
 (* Grow barrier-resized structures after churn joins. *)
 let sync_capacity t =
   let sh = t.sh in
   let n = sh.Actor.net.Network.arena_len in
   Mailbox.ensure sh.Actor.mb ~handles:n;
+  (match sh.Actor.cache with
+  | Some c -> Obj_cache.ensure_nodes c n
+  | None -> ());
   if Bytes.length sh.Actor.dirty < n then begin
     let b = Bytes.make (max n (2 * Bytes.length sh.Actor.dirty)) '\000' in
     Bytes.blit sh.Actor.dirty 0 b 0 (Bytes.length sh.Actor.dirty);
@@ -213,6 +250,7 @@ let run t ~domains ~now ~on_barrier =
     t.sh.Actor.wall.(0) <- now ();
     flush_outboxes t ~barrier;
     apply_repairs t;
+    apply_cache_intents t;
     on_barrier t barrier;
     sync_capacity t;
     let e = next_work_time t in

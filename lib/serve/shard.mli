@@ -26,10 +26,13 @@ type t = {
 val create :
   net:Network.t -> guids:Node_id.t array -> roots:int -> ttl:float ->
   latency:float -> service:float -> requests:int -> mailbox_cap:int ->
-  seed:int -> window:float -> t
+  seed:int -> window:float -> cache:Obj_cache.t option -> t
 (** Build the engine: one mailbox arena sized to the network, one
     {!Actor.ctx} per shard with an independent [Parallel.task_rng]
-    stream.  @raise Invalid_argument if [window <= 0]. *)
+    stream.  [cache] attaches the per-node object caches (fills, evicts
+    and epoch bumps buffered per shard are applied at each barrier in
+    shard order, bumps first, then evicts, then fills).
+    @raise Invalid_argument if [window <= 0]. *)
 
 val run :
   t -> domains:int -> now:(unit -> float) ->

@@ -157,6 +157,34 @@ module Table = struct
     String.concat "\n" (line t.columns :: List.map line (List.rev t.rows)) ^ "\n"
 end
 
+module Tally = struct
+  type t = {
+    mutable hits : int;
+    mutable misses : int;
+    mutable stale : int;
+    mutable fills : int;
+    mutable evicts : int;
+    mutable recoveries : int;
+  }
+
+  let create () =
+    { hits = 0; misses = 0; stale = 0; fills = 0; evicts = 0; recoveries = 0 }
+
+  let merge ~into t =
+    into.hits <- into.hits + t.hits;
+    into.misses <- into.misses + t.misses;
+    into.stale <- into.stale + t.stale;
+    into.fills <- into.fills + t.fills;
+    into.evicts <- into.evicts + t.evicts;
+    into.recoveries <- into.recoveries + t.recoveries
+
+  let lookups t = t.hits + t.misses + t.stale
+
+  let hit_rate t =
+    let l = lookups t in
+    if l = 0 then 0. else float_of_int t.hits /. float_of_int l
+end
+
 (* HDR-style log-bucketed latency histogram (serve tier).
 
    Values are hashed to a bucket by [frexp]: the exponent selects an

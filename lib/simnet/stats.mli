@@ -50,6 +50,37 @@ end
 val fmt_float : float -> string
 (** Compact float formatting for table cells. *)
 
+(** Object-cache counters (PR 9).  One record per accounting domain —
+    the sync locate path keeps one inside the cache itself, the serve
+    engine keeps one per shard context and merges them in fixed shard
+    order at the end of a run, so the totals are bit-identical for any
+    [--domains].  All fields are plain mutable ints: bumping one on the
+    hot path allocates nothing. *)
+module Tally : sig
+  type t = {
+    mutable hits : int;  (** cache probe named a currently valid server *)
+    mutable misses : int;  (** no entry for the key at the probed node *)
+    mutable stale : int;
+        (** entry found but epoch/generation/liveness check failed *)
+    mutable fills : int;  (** entries written (or refreshed) into a cache *)
+    mutable evicts : int;
+        (** entries removed by invalidation (not capacity replacement) *)
+    mutable recoveries : int;
+        (** requests that survived a stale redirect by re-climbing *)
+  }
+
+  val create : unit -> t
+
+  val merge : into:t -> t -> unit
+  (** Element-wise addition. *)
+
+  val lookups : t -> int
+  (** [hits + misses + stale]: denominator of {!hit_rate}. *)
+
+  val hit_rate : t -> float
+  (** [hits / lookups]; 0 when no lookups happened. *)
+end
+
 (** HDR-style log-bucketed histogram for the serve tier's latency tails.
 
     Fixed 2048 int buckets (64 binary octaves x 32 mantissa strips), so

@@ -43,6 +43,11 @@ type violation =
       expires : float;
     }
   | Footprint_excess of { total_bytes : int; budget_bytes : int }
+  | Cache_incoherent of {
+      holder : Node_id.t option;
+      guid : Node_id.t;
+      reason : string;
+    }
 
 type report = {
   nodes_audited : int;
@@ -62,6 +67,7 @@ let violation_code = function
   | Missing_owner _ -> "missing-owner"
   | Expired_pointer _ -> "expired-pointer"
   | Footprint_excess _ -> "footprint-excess"
+  | Cache_incoherent _ -> "cache-incoherent"
 
 let is_clean r = match r.violations with [] -> true | _ :: _ -> false
 
@@ -116,6 +122,12 @@ let pp_violation ppf v =
         "footprint-excess: estimated resident size %d B exceeds the \
          O(n log n) budget %d B (Table 1 space bound)"
         total_bytes budget_bytes
+  | Cache_incoherent { holder; guid; reason } ->
+      Format.fprintf ppf
+        "cache-incoherent: %s cached entry for object %s is neither valid \
+         nor redirectable: %s (DESIGN.md \xc2\xa710)"
+        (match holder with Some n -> id n | None -> "<out-of-arena>")
+        (id guid) reason
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -297,6 +309,47 @@ let run net =
                        expires = r.Pointer_store.expires;
                      }))
             (Pointer_store.records n.Node.pointers));
+      (* Cache coherence (PR 9): every cached entry is valid — a
+         registered, live, epoch-current server still holding the
+         replica — or provably redirectable: epoch behind (a probe
+         self-evicts it) or server dead (the probe's liveness check
+         rejects it; arena handles are never reused, so handle+liveness
+         identifies the server).  Only the valid-looking ones can steer
+         a request, so only they can be incoherent. *)
+      (match net.Network.obj_cache with
+      | None -> ()
+      | Some c ->
+          Obj_cache.iter c ~f:(fun ~h ~key ~server ~gen:_ ~epoch ->
+              let guid = Obj_cache.guid_of_key c key in
+              if h >= net.Network.arena_len then
+                add
+                  (Cache_incoherent
+                     {
+                       holder = None;
+                       guid;
+                       reason = "cache line beyond the node arena";
+                     })
+              else if server < 0 || server >= net.Network.arena_len then
+                add
+                  (Cache_incoherent
+                     {
+                       holder = Some (Network.node_of_handle net h).Node.id;
+                       guid;
+                       reason = "entry names an unregistered server handle";
+                     })
+              else if epoch = Obj_cache.epoch_of c ~key ~srv:server then begin
+                let s = Network.node_of_handle net server in
+                if Node.is_alive s && not (Node.stores_replica s guid) then
+                  add
+                    (Cache_incoherent
+                       {
+                         holder = Some (Network.node_of_handle net h).Node.id;
+                         guid;
+                         reason =
+                           "epoch-current entry names a live server that \
+                            does not hold the replica";
+                       })
+              end));
       (* Space bound: estimated residency within the O(n log n) budget. *)
       let fp = Network.memory_footprint net in
       let budget = footprint_budget net in

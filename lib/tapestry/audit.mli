@@ -16,7 +16,14 @@
       through {!Network.node_of_handle} to the node it names (the packed
       hot path depends on it);
     - {b pointer expiry consistency} (Section 2.2 soft state): no node
-      retains an object pointer past its expiry.
+      retains an object pointer past its expiry;
+    - {b cache coherence} (PR 9): when an {!Obj_cache} is attached, every
+      cached entry either names a registered, epoch-current, live server
+      that still holds the replica, or is provably redirectable — its
+      epoch snapshot is behind (a probe self-evicts it) or its server is
+      dead (the probe's liveness check rejects it).  Either way a stale
+      hit degrades to the ordinary climb and never yields a wrong
+      answer; see DESIGN.md §10.
 
     All checks walk the network without charging, so audits can be
     interleaved with measured runs.  Consumed by tests and by
@@ -71,6 +78,14 @@ type violation =
       (** {!Network.memory_footprint} exceeds the O(n log n) space budget
           (Table 1): per-node fixed table cost plus an O(log n) allowance,
           2x slack.  Trips on superlinear-per-node regressions. *)
+  | Cache_incoherent of {
+      holder : Node_id.t option;
+          (** cache-line owner; [None] = line beyond the arena *)
+      guid : Node_id.t;
+      reason : string;
+    }
+      (** An {!Obj_cache} entry that is neither currently valid nor
+          provably redirectable (see the coherence bullet above). *)
 
 type report = {
   nodes_audited : int;

@@ -22,9 +22,10 @@ type t = {
   alive_slot : int Node_id.Tbl.t;
   salts : Node_id.t Salt_tbl.t;
   scratch : Scratch.t;
-  rng : Simnet.Rng.t;
+  mutable rng : Simnet.Rng.t;
   cost : Simnet.Cost.t;
   mutable clock : float;
+  mutable obj_cache : Obj_cache.t option;
 }
 
 let create ?(seed = 42) config metric =
@@ -51,6 +52,7 @@ let create ?(seed = 42) config metric =
     rng = Simnet.Rng.create seed;
     cost = Simnet.Cost.make ();
     clock = 0.;
+    obj_cache = None;
   }
 
 let dist t (a : Node.t) (b : Node.t) = Simnet.Metric.dist t.metric a.addr b.addr
@@ -197,6 +199,20 @@ let iter_registered t f =
   for h = 0 to t.arena_len - 1 do
     f t.arena.(h)
   done
+
+(* Reset the soft state (pointer stores, replica sets, virtual clock,
+   any attached object cache) while keeping the expensively built hard
+   state: routing tables, indices, metric, arena.  With [rng] restored
+   by the caller to a matching snapshot, a deterministic campaign
+   replayed on the cleared mesh is bit-identical to one on a fresh
+   build — the serve bench reuses one n=65536 mesh across its rows this
+   way instead of re-paying the ~140 s construction per row. *)
+let clear_soft_state t =
+  iter_registered t (fun (n : Node.t) ->
+      Pointer_store.clear n.pointers;
+      Node_id.Tbl.reset n.replicas);
+  t.clock <- 0.;
+  t.obj_cache <- None
 
 let core_nodes t =
   Id_index.ids_with_prefix t.core_index ~prefix:[||] ~len:0
@@ -394,6 +410,11 @@ let memory_footprint t =
         + (match n.surrogate_hint with Some _ -> 2 * word | None -> 0);
       table_bytes := !table_bytes + Routing_table.approx_bytes n.table;
       pointer_bytes := !pointer_bytes + Pointer_store.approx_bytes n.pointers);
+  (* the object cache holds pointer replicas: bill it to the pointer
+     bucket so the audit's O(n log n) budget covers it too *)
+  (match t.obj_cache with
+  | Some c -> pointer_bytes := !pointer_bytes + Obj_cache.approx_bytes c
+  | None -> ());
   let directory_bytes =
     tbl_bytes ~len:(Node_id.Tbl.length t.nodes) ~binding_words:1
     + tbl_bytes ~len:(Node_id.Tbl.length t.alive_slot) ~binding_words:1

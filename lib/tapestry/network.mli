@@ -44,12 +44,26 @@ type t = {
       (** reusable generation-stamped buffers for the insertion hot path
           (nearest-neighbor descent, acknowledged multicast); see
           {!Scratch} and DESIGN.md §8.7 *)
-  rng : Simnet.Rng.t;
+  mutable rng : Simnet.Rng.t;
+      (** mutable so a campaign runner can restore a {!Simnet.Rng.copy}
+          snapshot when replaying on a reused mesh *)
   cost : Simnet.Cost.t;  (** ambient accumulator charged by protocol code *)
   mutable clock : float;  (** virtual time for soft-state expiry *)
+  mutable obj_cache : Obj_cache.t option;
+      (** opt-in per-node object-pointer caches (PR 9): [None] (the
+          default) leaves every locate path byte-identical to the
+          uncached code; attach with {!Obj_cache.create} sized to
+          [arena_len] to let {!Locate} probe and fill *)
 }
 
 val create : ?seed:int -> Config.t -> Simnet.Metric.t -> t
+
+val clear_soft_state : t -> unit
+(** Drop all soft state — pointer stores, replica sets, the virtual
+    clock, any attached object cache — while keeping routing tables,
+    indices and the metric.  Together with restoring an [rng] snapshot
+    this lets a deterministic campaign replay on a reused mesh
+    bit-identically to a fresh build (serve bench row reuse). *)
 
 val dist : t -> Node.t -> Node.t -> float
 

@@ -176,6 +176,8 @@ let expire t ~now =
         victims;
       List.length victims
 
+let clear t = t.tables <- None
+
 let word = 8
 
 (* Resident-size estimate.  Stdlib hashtables are a 5-word record plus a

@@ -58,6 +58,11 @@ val size : t -> int
 val expire : t -> now:float -> int
 (** Drop records whose expiry passed; returns how many were dropped. *)
 
+val clear : t -> unit
+(** Drop every record (the lazy inner tables revert to the unallocated
+    empty state).  Used by {!Network.clear_soft_state} to reuse a built
+    mesh across serve-bench rows without rebuilding routing state. *)
+
 val approx_bytes : t -> int
 (** Estimated resident bytes of this store (tables, records, index) — an
     arithmetic model, not GC truth.  Feeds {!Network.memory_footprint}. *)

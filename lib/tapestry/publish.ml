@@ -62,6 +62,16 @@ let republish ?variant net ~server guid =
 let unpublish ?variant net ~(server : Node.t) guid =
   let cfg = net.Network.config in
   Node.remove_replica server guid;
+  (* Retract cached shortcuts: bumping the (object, server) pair epoch
+     lazily invalidates every cache entry naming THIS server for the
+     object (Obj_cache / DESIGN.md §10); entries for the object's other
+     replicas stay valid.  [find_key] rather than [intern]: never
+     create a key here. *)
+  (match net.Network.obj_cache with
+  | Some c ->
+      let key = Obj_cache.find_key c guid in
+      if key >= 0 then Obj_cache.bump_epoch c ~key ~srv:server.Node.handle
+  | None -> ());
   for root_idx = 0 to cfg.Config.root_set_size - 1 do
     let salted = Network.salted net guid root_idx in
     let _, _, _ =

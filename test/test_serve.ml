@@ -180,6 +180,34 @@ let test_serve_accounting () =
   Alcotest.(check bool) "messages flowed" true
     (r.Driver.delivered >= r.Driver.injected)
 
+let test_serve_streamed_build_signature () =
+  (* the serve CLI builds its mesh with [Static_build.build_streamed]
+     (a ~4x cheaper setup at n=65536 than the incremental path it
+     replaced); the driver is a pure function of the mesh, and
+     test_scale_build proves the two builders emit bit-identical
+     meshes — assert the end-to-end consequence here: the serve run
+     signature is unchanged by the builder swap *)
+  let n = 256 and seed = 42 in
+  let streamed_net = build_net n seed in
+  let incremental_net =
+    let rng = Rng.create seed in
+    let metric =
+      Simnet.Topology.generate Simnet.Topology.Uniform_square ~n ~rng
+    in
+    let net, _reports =
+      Insert.build_incremental ~seed:(seed + 1) Config.default metric
+        ~addrs:(List.init n Fun.id)
+    in
+    net
+  in
+  let run net =
+    Driver.run ~net { serve_params with Driver.domains = 2 }
+      ~now:(fake_clock ())
+  in
+  Alcotest.(check string) "signature unchanged by streamed build"
+    (Driver.signature (run incremental_net))
+    (Driver.signature (run streamed_net))
+
 let test_serve_churn_audit_clean () =
   let params =
     { serve_params with Driver.kill_rate = 8.; join_rate = 4. }
@@ -200,6 +228,79 @@ let test_serve_churn_determinism () =
   let _, r5 = run_serve ~params ~domains:5 () in
   Alcotest.(check string) "churned run domain-invariant"
     (Driver.signature r1) (Driver.signature r5)
+
+(* ---- serve engine + object cache (PR 9) ---- *)
+
+let cached_params = { serve_params with Driver.cache_size = 8 }
+
+let test_serve_cache_determinism () =
+  (* the shard-confinement argument must hold with the cache attached:
+     probes/fills/evicts/epoch bumps are all either owner-shard or
+     barrier-sequential, so signatures stay domain-invariant — also
+     under churn, which adds generation bumps and dead-server entries *)
+  let _, r1 = run_serve ~params:cached_params ~domains:1 () in
+  let _, r4 = run_serve ~params:cached_params ~domains:4 () in
+  Alcotest.(check string) "cache-on run domain-invariant"
+    (Driver.signature r1) (Driver.signature r4);
+  let churned =
+    { cached_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let _, c1 = run_serve ~params:churned ~domains:1 () in
+  let _, c5 = run_serve ~params:churned ~domains:5 () in
+  Alcotest.(check bool) "churn actually fired" true (c1.Driver.kills > 0);
+  Alcotest.(check string) "churned cache-on run domain-invariant"
+    (Driver.signature c1) (Driver.signature c5)
+
+let test_serve_cache_off_identical () =
+  (* cache_size = 0 must reproduce the uncached engine bit-exactly: no
+     cache suffix in the signature, identical counters *)
+  let _, r_off = run_serve ~params:serve_params ~domains:2 () in
+  let _, r_zero =
+    run_serve ~params:{ serve_params with Driver.cache_size = 0 } ~domains:2 ()
+  in
+  Alcotest.(check string) "cache 0 = uncached signature"
+    (Driver.signature r_off) (Driver.signature r_zero);
+  let s = Driver.signature r_off in
+  let rec has_cache_field i =
+    i + 3 <= String.length s
+    && (String.sub s i 3 = "ch=" || has_cache_field (i + 1))
+  in
+  Alcotest.(check bool) "no cache fields leak into the signature" false
+    (has_cache_field 0)
+
+let test_serve_cache_helps () =
+  (* the cache must not make service worse: fewer failures (redirect
+     recovery re-climbs past unpublish races the uncached walk loses)
+     and a strictly smaller delivered-message volume.  mailbox_cap is
+     raised because at this tiny scale the cache's direct FETCHes
+     concentrate on the few hot servers and a 64-deep ring drops the
+     overflow, which would conflate backpressure with correctness *)
+  let params = { serve_params with Driver.mailbox_cap = 1024 } in
+  let _, r_off = run_serve ~params ~domains:3 () in
+  let _, r_on =
+    run_serve ~params:{ params with Driver.cache_size = 8 } ~domains:3 ()
+  in
+  Alcotest.(check int) "all requests injected" r_off.Driver.injected
+    r_on.Driver.injected;
+  Alcotest.(check bool) "cache never adds failures" true
+    (r_on.Driver.failed <= r_off.Driver.failed);
+  Alcotest.(check bool) "recovery actually fired" true
+    (r_on.Driver.tally.Simnet.Stats.Tally.recoveries > 0);
+  Alcotest.(check bool) "cache cuts delivered messages" true
+    (r_on.Driver.delivered < r_off.Driver.delivered)
+
+let test_serve_cache_churn_audit_clean () =
+  let params =
+    { cached_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let net, r = run_serve ~params ~domains:3 () in
+  Alcotest.(check bool) "churn actually fired" true (r.Driver.kills > 0);
+  Serve.Shard.quiesce r.Driver.engine ~clock:(r.Driver.duration_v +. 1.);
+  let report = Audit.run net in
+  if not (Audit.is_clean report) then
+    Alcotest.failf
+      "churned cache-on serve mesh not audit-clean (incl. coherence): %s"
+      (Format.asprintf "%a" Audit.pp_report report)
 
 let () =
   Alcotest.run "serve"
@@ -227,9 +328,23 @@ let () =
             test_serve_determinism;
           Alcotest.test_case "request accounting balances" `Quick
             test_serve_accounting;
+          Alcotest.test_case "streamed build leaves run signature unchanged"
+            `Quick test_serve_streamed_build_signature;
           Alcotest.test_case "churned run quiesces audit-clean" `Quick
             test_serve_churn_audit_clean;
           Alcotest.test_case "churned run domain-invariant" `Quick
             test_serve_churn_determinism;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cache-on runs domain-invariant (incl. churn)"
+            `Quick test_serve_cache_determinism;
+          Alcotest.test_case "cache 0 bit-identical to uncached" `Quick
+            test_serve_cache_off_identical;
+          Alcotest.test_case "cache cuts messages, never adds failures"
+            `Quick test_serve_cache_helps;
+          Alcotest.test_case
+            "churned cache-on run quiesces audit-clean (incl. coherence)"
+            `Quick test_serve_cache_churn_audit_clean;
         ] );
     ]

@@ -18,12 +18,19 @@
 
    Files carrying a "serve" array (written by `tapestry_sim serve`) are
    compared point by point, keyed by the workload shape
-   (n / zipf_s / churn rates), under --serve-threshold (default 20%).
-   Two metrics gate: throughput_rps (LOWER is worse) and p99_virtual
-   (higher is worse); the remaining quantiles and counters are
-   reported as info.  A serve-only regression exits 4, so a caller can
-   tell "the hot path got slower" (1) from "the mesh got bigger" (3)
-   from "the serving runtime degraded" (4).
+   (n / zipf_s / objects / churn rates / cache_size), under --serve-threshold
+   (default 20%).  Three metrics gate: throughput_rps (LOWER is worse),
+   p99_virtual (higher is worse) and delivered_per_request (higher is
+   worse — the paper's messages-per-request efficiency measure); the
+   remaining quantiles and counters are reported as info.  A serve-only
+   regression exits 4, so a caller can tell "the hot path got slower"
+   (1) from "the mesh got bigger" (3) from "the serving runtime
+   degraded" (4).
+
+   Serve points where BOTH sides ran with a cache (cache_size > 0) are
+   additionally gated on cache_hit_rate (LOWER is worse) under
+   --cache-threshold (default 20%); a cache-only regression exits 5.
+   Files predating the cache fields compare exactly as before.
 
    [--advisory] keeps all reports but always exits 0: the escape hatch
    for noisy shared machines, where a short run's jitter can cross any
@@ -33,7 +40,8 @@
 
 let usage =
   "bench_compare [--threshold PCT] [--scale-threshold PCT] \
-   [--serve-threshold PCT] [--advisory] BASELINE.json CURRENT.json"
+   [--serve-threshold PCT] [--cache-threshold PCT] [--advisory] \
+   BASELINE.json CURRENT.json"
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -132,9 +140,10 @@ let compare_scale ~threshold base cur =
     !regressed
   end
 
-(* Serve points are keyed by workload shape: same n, Zipf exponent and
-   churn rates must describe the same experiment before latency or
-   throughput are comparable. *)
+(* Serve points are keyed by workload shape: same n, Zipf exponent,
+   churn rates and cache size must describe the same experiment before
+   latency or throughput are comparable.  cache_size defaults to 0 when
+   the field is absent, so pre-cache files key exactly as before. *)
 let serve_points j =
   match Simnet.Json.member "serve" j with
   | Some (Simnet.Json.List pts) ->
@@ -143,72 +152,114 @@ let serve_points j =
           let get f = Option.bind (Simnet.Json.member f p) num in
           match get "n" with
           | Some n ->
+              let cache = Option.value (get "cache_size") ~default:0. in
               let key =
-                Printf.sprintf "n=%d s=%g churn=%g/%g" (int_of_float n)
+                Printf.sprintf "n=%d s=%g%s churn=%g/%g%s" (int_of_float n)
                   (Option.value (get "zipf_s") ~default:0.)
+                  (* the object-universe size is a workload axis (the
+                     cache campaign varies it); omit when absent so
+                     pre-campaign files key as before *)
+                  (match get "objects" with
+                  | Some k -> Printf.sprintf " obj=%d" (int_of_float k)
+                  | None -> "")
                   (Option.value (get "kill_rate") ~default:0.)
                   (Option.value (get "join_rate") ~default:0.)
+                  (if cache > 0. then
+                     Printf.sprintf " cache=%d" (int_of_float cache)
+                   else "")
               in
               Some (key, p)
           | None -> None)
         pts
   | _ -> []
 
-(* gated serve metrics with their "worse" direction: throughput falling
-   and tail latency rising are both regressions *)
-let serve_gated = [ ("throughput_rps", `Lower_worse); ("p99_virtual", `Higher_worse) ]
+(* gated serve metrics with their "worse" direction: throughput falling,
+   tail latency rising and message amplification rising are all
+   regressions *)
+let serve_gated =
+  [
+    ("throughput_rps", `Lower_worse);
+    ("p99_virtual", `Higher_worse);
+    ("delivered_per_request", `Higher_worse);
+  ]
 
 let serve_reported =
-  [ "throughput_rps"; "p50_virtual"; "p99_virtual"; "p999_virtual"; "wall_s" ]
+  [
+    "throughput_rps"; "p50_virtual"; "p99_virtual"; "p999_virtual";
+    "delivered_per_request"; "wall_s";
+  ]
 
-let compare_serve ~threshold base cur =
+(* hit rate gates only when both sides ran with a cache: comparing a
+   cached row against an uncached baseline (or a pre-cache file) is a
+   config difference, not a regression *)
+let cache_gated = [ ("cache_hit_rate", `Lower_worse) ]
+
+let compare_serve ~threshold ~cache_threshold base cur =
   let bpts = serve_points base and cpts = serve_points cur in
-  if bpts = [] || cpts = [] then 0
+  if bpts = [] || cpts = [] then (0, 0)
   else begin
-    let regressed = ref 0 in
-    Printf.printf "\n%-28s %-16s %12s %12s %8s\n" "serve point" "metric"
+    let regressed = ref 0 and cache_regressed = ref 0 in
+    Printf.printf "\n%-38s %-22s %12s %12s %8s\n" "serve point" "metric"
       "baseline" "current" "ratio";
     List.iter
       (fun (key, bp) ->
         match List.assoc_opt key cpts with
         | None ->
-            Printf.printf "%-28s %-16s %12s %12s %8s\n" key "-" "-" "-" "gone"
+            Printf.printf "%-38s %-22s %12s %12s %8s\n" key "-" "-" "-" "gone"
         | Some cp ->
+            let get side f = Option.bind (Simnet.Json.member f side) num in
+            let both_cached =
+              Option.value (get bp "cache_size") ~default:0. > 0.
+              && Option.value (get cp "cache_size") ~default:0. > 0.
+            in
+            let row (field, dir) ~gate ~threshold ~counter =
+              match (get bp field, get cp field) with
+              | Some b, Some c when b > 0. && c > 0. ->
+                  let ratio = c /. b in
+                  let flag =
+                    if not gate then "  (info)"
+                    else begin
+                      let worse =
+                        match dir with
+                        | `Higher_worse -> ratio
+                        | `Lower_worse -> b /. c
+                      in
+                      if worse > 1. +. (threshold /. 100.) then begin
+                        incr counter;
+                        "  REGRESSED"
+                      end
+                      else ""
+                    end
+                  in
+                  Printf.printf "%-38s %-22s %12.1f %12.1f %7.2fx%s\n" key
+                    field b c ratio flag
+              | _ -> ()
+            in
             List.iter
               (fun field ->
-                match
-                  ( Option.bind (Simnet.Json.member field bp) num,
-                    Option.bind (Simnet.Json.member field cp) num )
-                with
-                | Some b, Some c when b > 0. && c > 0. ->
-                    let ratio = c /. b in
-                    let flag =
-                      match List.assoc_opt field serve_gated with
-                      | None -> "  (info)"
-                      | Some dir ->
-                          let worse =
-                            match dir with
-                            | `Higher_worse -> ratio
-                            | `Lower_worse -> b /. c
-                          in
-                          if worse > 1. +. (threshold /. 100.) then begin
-                            incr regressed;
-                            "  REGRESSED"
-                          end
-                          else ""
-                    in
-                    Printf.printf "%-28s %-16s %12.1f %12.1f %7.2fx%s\n" key
-                      field b c ratio flag
-                | _ -> ())
-              serve_reported)
+                let dir =
+                  List.assoc_opt field serve_gated
+                  |> Option.value ~default:`Higher_worse
+                in
+                row (field, dir)
+                  ~gate:(List.mem_assoc field serve_gated)
+                  ~threshold ~counter:regressed)
+              serve_reported;
+            if both_cached then
+              List.iter
+                (fun (field, dir) ->
+                  row (field, dir) ~gate:true ~threshold:cache_threshold
+                    ~counter:cache_regressed)
+                cache_gated)
       bpts;
-    !regressed
+    (!regressed, !cache_regressed)
   end
 
 let () =
   let threshold = ref 25.0 in
   let serve_threshold = ref 20.0 in
   let scale_threshold = ref 15.0 in
+  let cache_threshold = ref 20.0 in
   let advisory = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -227,6 +278,11 @@ let () =
         (match float_of_string_opt v with
         | Some t when t >= 0. -> serve_threshold := t
         | _ -> fail "bench_compare: bad serve threshold %S" v);
+        parse_args rest
+    | "--cache-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> cache_threshold := t
+        | _ -> fail "bench_compare: bad cache threshold %S" v);
         parse_args rest
     | "--advisory" :: rest ->
         advisory := true;
@@ -286,8 +342,9 @@ let () =
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 3
   end;
-  let serve_regressed =
-    compare_serve ~threshold:!serve_threshold base_doc cur_doc
+  let serve_regressed, serve_cache_regressed =
+    compare_serve ~threshold:!serve_threshold
+      ~cache_threshold:!cache_threshold base_doc cur_doc
   in
   if serve_regressed > 0 then begin
     Printf.printf "%d serve metric(s) regressed more than %g%% vs %s\n"
@@ -295,4 +352,11 @@ let () =
     if !advisory then
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 4
+  end;
+  if serve_cache_regressed > 0 then begin
+    Printf.printf "%d cache metric(s) regressed more than %g%% vs %s\n"
+      serve_cache_regressed !cache_threshold base_file;
+    if !advisory then
+      print_endline "bench_compare: advisory mode, not failing the check"
+    else exit 5
   end

@@ -6,7 +6,7 @@
 # can attribute the failure without scraping output:
 #   10 build        11 tests          12 syntactic lint
 #   13 typed lint   14 bench smoke    15 bench gate
-#   16 scale smoke  17 serve smoke
+#   16 scale smoke  17 serve smoke    18 cache smoke
 #
 # The bench gate compares a short run against the committed
 # BENCH_baseline.json and fails if any paired op regressed more than
@@ -26,20 +26,47 @@
 # (<60s), JSON round-tripped through the bench parser and — when a
 # committed BENCH_serve.json has a matching workload point — gated by
 # bench_compare's serve thresholds (throughput down / p99 up).
+#
+# ./tools/check.sh --cache-smoke runs ONLY the object-cache smoke: the
+# same n=4096 serve with a per-node cache attached and --audit, so the
+# quiesced mesh passes the full invariant audit INCLUDING the cache
+# coherence check, and the JSON must show a positive cache_hit_rate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 advisory=""
 scale_smoke=0
 serve_smoke=0
+cache_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --advisory) advisory="--advisory" ;;
     --scale-smoke) scale_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
-    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke] [--serve-smoke]" >&2; exit 2 ;;
+    --cache-smoke) cache_smoke=1 ;;
+    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke] [--serve-smoke] [--cache-smoke]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$cache_smoke" = 1 ]; then
+  dune build bin/tapestry_sim.exe bench/main.exe || exit 10
+  tmp_cache=$(mktemp /tmp/cache_smoke.XXXXXX.json)
+  trap 'rm -f "$tmp_cache"' EXIT
+  # --audit makes the run itself fail on any invariant violation,
+  # cache coherence included
+  dune exec bin/tapestry_sim.exe -- serve --size 4096 --requests 100000 \
+    --cache-size 32 --audit --json "$tmp_cache" || exit 18
+  dune exec bench/main.exe -- --check-json "$tmp_cache" || exit 18
+  # the cache must actually serve traffic: a zero hit rate means the
+  # probe/fill plumbing is dead even though nothing crashed
+  hr=$(grep -o '"cache_hit_rate": *[0-9.eE+-]*' "$tmp_cache" | head -1 | sed 's/.*: *//')
+  awk -v h="${hr:-0}" 'BEGIN { exit (h > 0 ? 0 : 1) }' || {
+    echo "check: cache smoke found no positive cache_hit_rate (got '${hr:-missing}')" >&2
+    exit 18
+  }
+  echo "check: cache smoke (n=4096 serve, cache=32, audit incl. coherence) clean"
+  exit 0
+fi
 
 if [ "$serve_smoke" = 1 ]; then
   dune build bin/tapestry_sim.exe bench/main.exe \

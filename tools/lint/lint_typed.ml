@@ -31,6 +31,7 @@ let hot_path_sources =
     "lib/tapestry/scratch.ml";
     "lib/serve/mailbox.ml";
     "lib/serve/actor.ml";
+    "lib/tapestry/obj_cache.ml";
   ]
 
 let is_hot source =
