@@ -428,23 +428,55 @@ let serve_cmd =
       & info [ "cache-policy" ] ~docv:"P"
           ~doc:"Cache eviction policy: $(b,clock) or $(b,2random).")
   in
+  let coop_arg =
+    Arg.(
+      value & opt string "0"
+      & info [ "coop" ] ~docv:"B[,B...]"
+          ~doc:
+            "Cooperative hint exchange (0 = off, 1 = on).  A comma-separated \
+             list crosses with --cache-size: one row per (size, coop) pair; \
+             coop=1 is skipped for cache-size 0 (it needs a cache).")
+  in
+  let hint_k_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "hint-k" ] ~docv:"K"
+          ~doc:"Top-k digest entries a shard offers per barrier (coop only).")
+  in
+  let hint_budget_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "hint-budget" ] ~docv:"B"
+          ~doc:
+            "Max hints one node accepts per exchange event, and the FETCH \
+             unwind's seeding cap (coop only).")
+  in
   let run seed domains n requests rate zipf objects publish unpublish service
       latency window mailbox_cap kill_rate join_rate json audit cache_sizes
-      cache_policy =
+      cache_policy coop_list hint_k hint_budget =
     let open Tapestry in
-    let cache_sizes =
+    let int_list s =
       try
-        String.split_on_char ',' cache_sizes
+        String.split_on_char ',' s
         |> List.map String.trim
         |> List.filter (fun s -> s <> "")
         |> List.map int_of_string
       with _ -> []
     in
-    match cache_sizes with
-    | [] -> Error (`Msg "serve: --cache-size expects a comma-separated int list")
-    | cache_sizes -> (
+    let cache_sizes = int_list cache_sizes in
+    let coop_list = int_list coop_list in
+    match (cache_sizes, coop_list) with
+    | [], _ ->
+        Error (`Msg "serve: --cache-size expects a comma-separated int list")
+    | _, [] -> Error (`Msg "serve: --coop expects a comma-separated 0/1 list")
+    | _, cs when List.exists (fun c -> c <> 0 && c <> 1) cs ->
+        Error (`Msg "serve: --coop entries must be 0 or 1")
+    | cache_sizes, coop_list -> (
       match Obj_cache.policy_of_string cache_policy with
       | None -> Error (`Msg "serve: --cache-policy expects clock or 2random")
+      | Some policy when hint_k <= 0 || hint_budget <= 0 ->
+          ignore policy;
+          Error (`Msg "serve: --hint-k and --hint-budget must be positive")
       | Some policy ->
           (* resolve here so build and serve agree and the JSON records the
              actual fold width *)
@@ -500,9 +532,21 @@ let serve_cmd =
                 end
           in
           let failures = ref [] in
+          (* row per (cache-size, coop) pair; coop needs a cache, so the
+             coop=1 column is skipped at cache-size 0 *)
+          let points =
+            List.concat_map
+              (fun cache_size ->
+                List.filter_map
+                  (fun coop ->
+                    if coop = 1 && cache_size <= 0 then None
+                    else Some (cache_size, coop = 1))
+                  coop_list)
+              cache_sizes
+          in
           let rows =
             List.map
-              (fun cache_size ->
+              (fun (cache_size, coop) ->
                 let net, build_wall = next_mesh () in
                 let params =
                   {
@@ -523,6 +567,9 @@ let serve_cmd =
                     domains;
                     cache_size;
                     cache_policy = policy;
+                    coop;
+                    hint_k;
+                    hint_budget;
                   }
                 in
                 let r = Serve.Driver.run ~net params ~now:Unix.gettimeofday in
@@ -539,10 +586,13 @@ let serve_cmd =
                 in
                 Printf.printf
                   "served %d requests over n=%d in %.2fs wall (%.0f req/s, \
-                   %d barriers, %.2f virtual s, cache=%d/%s)\n"
+                   %d barriers, %.2f virtual s, cache=%d/%s%s)\n"
                   r.injected n r.wall_s throughput r.barriers r.duration_v
                   cache_size
-                  (Obj_cache.policy_to_string policy);
+                  (Obj_cache.policy_to_string policy)
+                  (if coop then
+                     Printf.sprintf ", coop k=%d budget=%d" hint_k hint_budget
+                   else "");
                 Printf.printf
                   "  completed %d, failed %d (dropped %d, dead-letter %d), \
                    delivered %d msgs (%.2f/req), churn %d kills / %d joins\n"
@@ -556,6 +606,10 @@ let serve_cmd =
                     tl.Simnet.Stats.Tally.misses tl.Simnet.Stats.Tally.stale
                     tl.Simnet.Stats.Tally.fills tl.Simnet.Stats.Tally.evicts
                     tl.Simnet.Stats.Tally.recoveries;
+                if coop then
+                  Printf.printf "  coop: %d hint fills, %d hint hits\n"
+                    tl.Simnet.Stats.Tally.hint_fills
+                    tl.Simnet.Stats.Tally.hint_hits;
                 Printf.printf
                   "  virtual latency p50 %.6f  p90 %.6f  p99 %.6f  p999 %.6f\n"
                   (qv 0.50) (qv 0.90) (qv 0.99) (qv 0.999);
@@ -570,8 +624,8 @@ let serve_cmd =
                     let v = List.length report.Audit.violations in
                     if v > 0 then
                       failures :=
-                        Printf.sprintf "cache=%d: %d audit violations"
-                          cache_size v
+                        Printf.sprintf "cache=%d coop=%b: %d audit violations"
+                          cache_size coop v
                         :: !failures;
                     Some v
                   end
@@ -598,6 +652,9 @@ let serve_cmd =
                       if cache_size > 0 then
                         String (Obj_cache.policy_to_string policy)
                       else Null );
+                    ("coop", Int (if coop then 1 else 0));
+                    ("hint_k", if coop then Int hint_k else Null);
+                    ("hint_budget", if coop then Int hint_budget else Null);
                     ("build_wall_s", Float build_wall);
                     ("wall_s", Float r.wall_s);
                     ("duration_v", Float r.duration_v);
@@ -622,6 +679,8 @@ let serve_cmd =
                     ("cache_fills", Int tl.Simnet.Stats.Tally.fills);
                     ("cache_evicts", Int tl.Simnet.Stats.Tally.evicts);
                     ("recovered", Int tl.Simnet.Stats.Tally.recoveries);
+                    ("hint_fills", Int tl.Simnet.Stats.Tally.hint_fills);
+                    ("hint_hits", Int tl.Simnet.Stats.Tally.hint_hits);
                     ("cache_hit_rate", Float hit_rate);
                     ("kills", Int r.kills);
                     ("joins", Int r.joins);
@@ -630,7 +689,7 @@ let serve_cmd =
                       match audit_violations with Some v -> Int v | None -> Null
                     );
                   ])
-              cache_sizes
+              points
           in
           (match json with
           | None | Some "-" -> ()
@@ -672,7 +731,8 @@ let serve_cmd =
         (const run $ seed_arg $ domains_arg $ n_arg $ requests_arg $ rate_arg
        $ zipf_arg $ objects_arg $ publish_arg $ unpublish_arg $ service_arg
        $ latency_arg $ window_arg $ mailbox_arg $ kill_arg $ join_arg
-       $ json_arg $ audit_arg $ cache_arg $ policy_arg))
+       $ json_arg $ audit_arg $ cache_arg $ policy_arg $ coop_arg $ hint_k_arg
+       $ hint_budget_arg))
 
 let main =
   Cmd.group

@@ -111,6 +111,16 @@ type shared = {
          the barrier), so these disjoint-slice writes are race-free.
          Empty at --cache 0. *)
   req_plen : Bytes.t;  (* per request: hops recorded (saturates at path_cap) *)
+  (* ---- cooperative hint exchange (PR 10); every field below is inert
+     when [coop = false], keeping the engine byte-identical to PR 9 ---- *)
+  coop : bool;
+  hint_k : int;  (* top-k digest entries a shard offers its neighbors *)
+  hint_budget : int;  (* max hints one node line accepts per barrier *)
+  mutable want_stamp : int array;
+      (* per handle: window index of the node's last logged want; a
+         node's dispatches run on its owner shard, so writes are
+         disjoint by construction.  Empty when coop is off. *)
+  win : int array;  (* win.(0): window counter, barrier-written *)
 }
 
 type ctx = {
@@ -155,12 +165,41 @@ type ctx = {
   mutable ep_key : int array;  (* epoch bumps (unpublish origins) *)
   mutable ep_srv : int array;  (* ... of this retracting server *)
   mutable ep_len : int;
+  (* cooperative hint digest: per-window (key, srv, gen, epoch, count)
+     accumulator of this shard's cache hits, bounded at [digest_cap]
+     distinct pairs; the top [hint_k] by count are what neighbor shards
+     read at the barrier *)
+  mutable hd_key : int array;
+  mutable hd_srv : int array;
+  mutable hd_gen : int array;
+  mutable hd_epoch : int array;
+  mutable hd_cnt : int array;
+  mutable hd_len : int;
+  (* want ring: nodes of this shard that missed this window (one entry
+     per node per window via [want_stamp]) — the barrier offers each
+     the neighbor digests' hottest hints *)
+  mutable wt_h : int array;
+  mutable wt_len : int;
+  (* proactive-sweep cursor: each barrier also offers the digests to a
+     rotating slice of the shard's own handles, so client-edge nodes go
+     warm for the global head BEFORE their first miss — at large n a
+     client injects so few requests that waiting for a miss to want
+     forfeits most of a hint's useful life *)
+  mutable sweep_cursor : int;
 }
+
+(* Distinct (key, server) pairs a shard's digest tracks per window.
+   Windows are short (tens of requests per shard), so collisions with
+   the cap are rare; overflow drops the coldest tail by construction —
+   entries are appended on first hit, and only the top [hint_k] are
+   ever exported. *)
+let digest_cap = 64
 
 (* [@alloc_ok]: one shared record per run. *)
 let[@alloc_ok] make_shared ~net ~mb ~shards ~guids ~roots ~ttl ~latency
-    ~service ~requests ~cache =
+    ~service ~requests ~cache ~coop ~hint_k ~hint_budget =
   let cfg = net.Network.config in
+  let coop = coop && Option.is_some cache && hint_k > 0 && hint_budget > 0 in
   {
     net;
     mb;
@@ -184,6 +223,12 @@ let[@alloc_ok] make_shared ~net ~mb ~shards ~guids ~roots ~ttl ~latency
       | None -> [||]);
     req_plen =
       Bytes.make (match cache with Some _ -> max requests 1 | None -> 1) '\000';
+    coop;
+    hint_k;
+    hint_budget;
+    want_stamp =
+      (if coop then Array.make (max net.Network.arena_len 1) (-1) else [||]);
+    win = Array.make 1 0;
   }
 
 (* [@alloc_ok]: one ctx record (plus its selector closure) per shard per
@@ -230,6 +275,15 @@ let[@alloc_ok] make_ctx sh ~shard ~rng =
       ep_key = [||];
       ep_srv = [||];
       ep_len = 0;
+      hd_key = [||];
+      hd_srv = [||];
+      hd_gen = [||];
+      hd_epoch = [||];
+      hd_cnt = [||];
+      hd_len = 0;
+      wt_h = [||];
+      wt_len = 0;
+      sweep_cursor = 0;
     }
   in
   (ctx.sel <-
@@ -413,6 +467,45 @@ let push_epoch ctx ~key ~srv =
   ctx.ep_srv.(ctx.ep_len) <- srv;
   ctx.ep_len <- ctx.ep_len + 1
 
+(* Digest a cache hit: bump the (key, srv) pair's window count, or
+   append it while the window's table has room.  Linear scan over at
+   most [digest_cap] entries, shard-confined. *)
+let rec digest_scan ctx ~key ~srv j =
+  if j >= ctx.hd_len then -1
+  else if ctx.hd_key.(j) = key && ctx.hd_srv.(j) = srv then j
+  else digest_scan ctx ~key ~srv (j + 1)
+
+let log_digest ctx ~key ~srv ~gen ~epoch =
+  let j = digest_scan ctx ~key ~srv 0 in
+  if j >= 0 then ctx.hd_cnt.(j) <- ctx.hd_cnt.(j) + 1
+  else if ctx.hd_len < digest_cap then begin
+    ctx.hd_key <- grow_int ctx.hd_key ctx.hd_len;
+    ctx.hd_srv <- grow_int ctx.hd_srv ctx.hd_len;
+    ctx.hd_gen <- grow_int ctx.hd_gen ctx.hd_len;
+    ctx.hd_epoch <- grow_int ctx.hd_epoch ctx.hd_len;
+    ctx.hd_cnt <- grow_int ctx.hd_cnt ctx.hd_len;
+    ctx.hd_key.(ctx.hd_len) <- key;
+    ctx.hd_srv.(ctx.hd_len) <- srv;
+    ctx.hd_gen.(ctx.hd_len) <- gen;
+    ctx.hd_epoch.(ctx.hd_len) <- epoch;
+    ctx.hd_cnt.(ctx.hd_len) <- 1;
+    ctx.hd_len <- ctx.hd_len + 1
+  end
+
+(* A cache miss marks the node as wanting hints — once per window per
+   node ([want_stamp] dedup), so the want ring is bounded by the
+   shard's active node set. *)
+let log_want ctx (node : Node.t) =
+  let sh = ctx.sh in
+  let h = node.Node.handle in
+  let w = sh.win.(0) in
+  if sh.want_stamp.(h) <> w then begin
+    sh.want_stamp.(h) <- w;
+    ctx.wt_h <- grow_int ctx.wt_h ctx.wt_len;
+    ctx.wt_h.(ctx.wt_len) <- h;
+    ctx.wt_len <- ctx.wt_len + 1
+  end
+
 (* Pointer probe + surrogate climb, shared by LOCATE (after a cache miss)
    and LOCATE_NC.  [wl] is the walk level, [rc] the request's redirect
    count (re-packed into outgoing locate levels; 0 when cache is off, so
@@ -435,7 +528,13 @@ let locate_climb ctx (node : Node.t) ~now ~req ~oi ~wl ~rc ~src ~base_guid ~nc =
         ~kind:(if nc then op_locate_nc else op_locate)
         ~req ~oi
         ~level:
-          (if nc then ctx.scan_level
+          (if nc then
+             (* cooperative mode threads the redirect count through
+                LOCATE_NC levels too, so the S1 retry (rc_max + 1) is
+                distinguishable from the first cache-free climb; with
+                coop off the high bits stay zero, as in PR 9 *)
+             if sh.coop then ctx.scan_level lor (rc lsl rc_shift)
+             else ctx.scan_level
            else ctx.scan_level lor (rc lsl rc_shift))
         ~prev:(-1) ~src
     else
@@ -473,6 +572,12 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
                [prev] carries this holder so a lying entry can be
                retracted by the fetch. *)
             ctx.tally.hits <- ctx.tally.hits + 1;
+            if sh.coop then begin
+              if Obj_cache.probe_is_hint c i then
+                ctx.tally.hint_hits <- ctx.tally.hint_hits + 1;
+              log_digest ctx ~key ~srv ~gen:(Obj_cache.probe_gen c i)
+                ~epoch:(Obj_cache.probe_epoch c i)
+            end;
             hop ctx node ~now ~h:srv ~kind:op_fetch ~req ~oi ~level:rc
               ~prev:node.Node.handle ~src:srv
           end
@@ -482,6 +587,7 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
             Obj_cache.evict_at c i;
             ctx.tally.stale <- ctx.tally.stale + 1;
             ctx.tally.evicts <- ctx.tally.evicts + 1;
+            if sh.coop then log_want ctx node;
             locate_climb ctx node ~now ~req ~oi ~wl ~rc ~src ~base_guid
               ~nc:false
           end
@@ -493,6 +599,7 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
             ctx.tally.evicts <- ctx.tally.evicts + 1
           end
           else ctx.tally.misses <- ctx.tally.misses + 1;
+          if sh.coop then log_want ctx node;
           locate_climb ctx node ~now ~req ~oi ~wl ~rc ~src ~base_guid ~nc:false
         end
   end
@@ -510,6 +617,10 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
           let ep = Obj_cache.epoch_of c ~key ~srv:self in
           let gen = Mailbox.generation sh.mb self in
           let plen = Char.code (Bytes.get sh.req_plen req) in
+          (* coop bounds the unwind to [hint_budget] deposits; keeping
+             the FIRST recorded hops prefers the client side of the
+             walk, whose warmth shortens the next climb the most *)
+          let plen = if sh.coop then min plen sh.hint_budget else plen in
           for k = 0 to plen - 1 do
             let tgt = sh.req_path.((req * path_cap) + k) in
             if tgt <> self then begin
@@ -542,6 +653,14 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
           else
             dispatch ctx node ~now ~kind:op_locate ~req ~oi
               ~level:(rc lsl rc_shift) ~prev:(-1) ~src
+      | Some _ when sh.coop && rc = rc_max ->
+          (* S1: even the cache-free climb can land its FETCH just as
+             the replica's unpublish retraction passes it.  Retry the
+             surrogate climb once more from this server (rc_max + 1
+             marks the chain as already-retried) before giving up. *)
+          ctx.tally.recoveries <- ctx.tally.recoveries + 1;
+          dispatch ctx node ~now ~kind:op_locate_nc ~req ~oi
+            ~level:((rc_max + 1) lsl rc_shift) ~prev:(-1) ~src
       | _ -> complete_failed ctx ~req
     end
   end
@@ -584,11 +703,17 @@ let rec dispatch ctx (node : Node.t) ~now ~kind ~req ~oi ~level ~prev ~src =
         ~level:ctx.scan_level ~prev:node.Node.handle ~src
     else complete_ok ctx ~now ~req
   end
-  else
+  else begin
     (* op_locate_nc: the cache-free fallback climb.  Its FETCH carries
-       [rc_max], so a further stale arrival fails plainly. *)
-    locate_climb ctx node ~now ~req ~oi ~wl:level ~rc:rc_max ~src ~base_guid
-      ~nc:true
+       the redirect count ([rc_max], or [rc_max + 1] on the coop S1
+       retry), so a further stale arrival fails plainly.  With coop off
+       the level's high bits are always zero and this reduces to PR 9's
+       [~wl:level ~rc:rc_max]. *)
+    let rc = level lsr rc_shift in
+    locate_climb ctx node ~now ~req ~oi ~wl:(level land level_mask)
+      ~rc:(if rc > rc_max then rc else rc_max)
+      ~src ~base_guid ~nc:true
+  end
 
 (* The drain fiber: FIFO over the mailbox, [service] virtual seconds per
    message, until the ring is empty.  The generation is re-checked after
@@ -651,11 +776,33 @@ let[@alloc_ok] deliver ctx ~time =
          ~oi:tr.Mailbox.Transport.o_oi ~level:tr.Mailbox.Transport.o_level
          ~prev:tr.Mailbox.Transport.o_prev ~src:tr.Mailbox.Transport.o_src)
   then begin
-    (* bounded mailbox full: drop the newcomer (backpressure policy) *)
-    ctx.dropped <- ctx.dropped + 1;
-    if req >= 0 then begin
-      Bytes.set sh.req_status req st_dropped;
-      ctx.failed <- ctx.failed + 1
+    let kind = tr.Mailbox.Transport.o_kind in
+    let prev = tr.Mailbox.Transport.o_prev in
+    if
+      sh.coop && kind = op_fetch && req >= 0
+      && tr.Mailbox.Transport.o_level <= rc_max
+      && prev >= 0 && prev <> h
+      && Node.is_alive (Network.node_of_handle sh.net prev)
+    then begin
+      (* coop overflow relief: hint-hit FETCHes are issued at injection
+         time, so same-window injection bursts land on a hot server as
+         one batch and overflow its ring.  Instead of failing, re-climb
+         cache-free once from the hint's holder ([prev]) — the walk
+         spreads the retry over later windows.  The resulting FETCH
+         carries rc_max + 1, so a second overflow is terminal. *)
+      ctx.tally.recoveries <- ctx.tally.recoveries + 1;
+      send ctx ~time ~h:prev ~kind:op_locate_nc ~req
+        ~oi:tr.Mailbox.Transport.o_oi
+        ~level:((rc_max + 1) lsl rc_shift) ~prev:(-1)
+        ~src:tr.Mailbox.Transport.o_src
+    end
+    else begin
+      (* bounded mailbox full: drop the newcomer (backpressure policy) *)
+      ctx.dropped <- ctx.dropped + 1;
+      if req >= 0 then begin
+        Bytes.set sh.req_status req st_dropped;
+        ctx.failed <- ctx.failed + 1
+      end
     end
   end
   else if not (Mailbox.is_busy sh.mb h) then begin

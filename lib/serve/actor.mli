@@ -75,6 +75,15 @@ type shared = {
           are causally ordered across shards, so the disjoint-slice
           writes are race-free.  Empty at [--cache 0]. *)
   req_plen : Bytes.t;  (** per request: hops recorded (saturates) *)
+  coop : bool;
+      (** cooperative hint exchange on (PR 10, DESIGN.md section 11);
+          [false] keeps the engine byte-identical to PR 9 *)
+  hint_k : int;  (** top-k digest entries a shard offers its neighbors *)
+  hint_budget : int;  (** max hints one node line accepts per barrier *)
+  mutable want_stamp : int array;
+      (** per handle: window of the last logged want (owner-shard
+          written, so disjoint); empty when coop is off *)
+  win : int array;  (** [win.(0)]: window counter, barrier-written *)
 }
 
 (** Per-shard private world: scheduler, transport, outbox, RNG, cost and
@@ -119,12 +128,33 @@ type ctx = {
   mutable ep_key : int array;  (** epoch bumps (unpublish origins) *)
   mutable ep_srv : int array;  (** ... of this retracting server *)
   mutable ep_len : int;
+  mutable hd_key : int array;
+      (** hint digest: this window's cache hits as (key, srv, gen,
+          epoch, count) rows, at most {!digest_cap} distinct pairs *)
+  mutable hd_srv : int array;
+  mutable hd_gen : int array;
+  mutable hd_epoch : int array;
+  mutable hd_cnt : int array;
+  mutable hd_len : int;
+  mutable wt_h : int array;
+      (** want ring: this shard's nodes that missed this window, one
+          entry per node per window *)
+  mutable wt_len : int;
+  mutable sweep_cursor : int;
+      (** rotating position of the barrier's proactive hint sweep over
+          this shard's handles *)
 }
+
+val digest_cap : int
+(** Distinct (key, server) pairs a shard's per-window digest tracks. *)
 
 val make_shared :
   net:Network.t -> mb:Mailbox.t -> shards:int -> guids:Node_id.t array ->
   roots:int -> ttl:float -> latency:float -> service:float ->
-  requests:int -> cache:Obj_cache.t option -> shared
+  requests:int -> cache:Obj_cache.t option -> coop:bool -> hint_k:int ->
+  hint_budget:int -> shared
+(** [coop] is forced off when [cache = None] or either hint parameter
+    is [<= 0]. *)
 
 val make_ctx : shared -> shard:int -> rng:Simnet.Rng.t -> ctx
 

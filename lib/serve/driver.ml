@@ -41,6 +41,9 @@ type params = {
   domains : int;  (* <= 0: Parallel.recommended () *)
   cache_size : int;  (* object-cache ways per node; 0 disables *)
   cache_policy : Obj_cache.policy;
+  coop : bool;  (* cooperative hint exchange (needs cache_size > 0) *)
+  hint_k : int;  (* top-k digest entries offered per barrier *)
+  hint_budget : int;  (* max hints one node line accepts per exchange *)
 }
 
 let default =
@@ -62,6 +65,9 @@ let default =
     domains = 0;
     cache_size = 0;
     cache_policy = Obj_cache.Clock;
+    coop = false;
+    hint_k = 16;
+    hint_budget = 12;
   }
 
 type result = {
@@ -228,7 +234,12 @@ let run ~net params ~now =
      needed; the cache is attached to the network so the quiescent-point
      [Audit.run] sees it *)
   let cache =
-    if params.cache_size <= 0 then None
+    if params.cache_size <= 0 then begin
+      (* defensive: a cache left attached by an earlier run on this
+         mesh must not leak into an uncached row *)
+      net.Network.obj_cache <- None;
+      None
+    end
     else begin
       let c =
         Obj_cache.create ~ways:params.cache_size ~policy:params.cache_policy
@@ -237,6 +248,9 @@ let run ~net params ~now =
       for o = 0 to params.objects - 1 do
         ignore (Obj_cache.intern c guids.(o * roots) : int)
       done;
+      if params.coop then
+        Obj_cache.set_coop c ~hint_k:params.hint_k
+          ~hint_budget:params.hint_budget;
       net.Network.obj_cache <- Some c;
       Some c
     end
@@ -245,7 +259,8 @@ let run ~net params ~now =
     Shard.create ~net ~guids ~roots ~ttl:params.ttl ~latency:params.latency
       ~service:params.service ~requests:params.requests
       ~mailbox_cap:params.mailbox_cap ~seed:params.seed
-      ~window:params.window ~cache
+      ~window:params.window ~cache ~coop:params.coop ~hint_k:params.hint_k
+      ~hint_budget:params.hint_budget
   in
   let z = Workload.zipf ~s:params.zipf_s ~n:params.objects in
   let per = params.requests / Shard.shard_count in
@@ -329,6 +344,14 @@ let signature r =
          tl.Simnet.Stats.Tally.hits tl.Simnet.Stats.Tally.misses
          tl.Simnet.Stats.Tally.stale tl.Simnet.Stats.Tally.fills
          tl.Simnet.Stats.Tally.evicts tl.Simnet.Stats.Tally.recoveries);
+  (* hint counters follow the same pattern: only appended when the
+     cooperative layer actually moved hints, so coop-off signatures are
+     byte-identical to PR 9's *)
+  if tl.Simnet.Stats.Tally.hint_fills + tl.Simnet.Stats.Tally.hint_hits > 0
+  then
+    Buffer.add_string b
+      (Printf.sprintf "hf=%d hh=%d;" tl.Simnet.Stats.Tally.hint_fills
+         tl.Simnet.Stats.Tally.hint_hits);
   Array.iteri
     (fun i c -> if c > 0 then Buffer.add_string b (Printf.sprintf "%d:%d," i c))
     (Hist.counts r.hist_v);

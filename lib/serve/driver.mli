@@ -27,11 +27,22 @@ type params = {
       (** {!Obj_cache} ways per node; [0] (the default) disables caching
           and reproduces the uncached engine's counters bit-identically *)
   cache_policy : Obj_cache.policy;
+  coop : bool;
+      (** cooperative hint exchange (PR 10, DESIGN.md section 11):
+          unwind seeding budget, per-window neighbor hint digests, and
+          the extra surrogate-climb retry before failing a fetch.
+          Requires [cache_size > 0]; [false] (the default) reproduces
+          PR 9's cached counters exactly *)
+  hint_k : int;  (** top-k digest entries a shard offers per barrier *)
+  hint_budget : int;
+      (** max hints one node line accepts per exchange event, and the
+          unwind's seeding cap under coop *)
 }
 
 val default : params
 (** seed 42, 10^5 requests at 5.10^4/s, Zipf 0.9 over 10^3 objects,
-    5% publish / 1% unpublish, no churn. *)
+    5% publish / 1% unpublish, no churn, coop off (hint_k 16 /
+    hint_budget 12 when enabled). *)
 
 type result = {
   engine : Shard.t;

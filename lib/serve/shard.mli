@@ -21,17 +21,30 @@ type t = {
   ctxs : Actor.ctx array;  (** length {!shard_count} *)
   window : float;
   mutable barriers : int;  (** barriers executed so far *)
+  b1_cnt : int array;
+      (** digit buckets (coop only, else empty): digest rows grouped by
+          the first one ([b1]) / two ([b2]) digits of their object's
+          root guid, as (key, srv, gen, epoch) quadruples rebuilt at
+          every barrier — the walk geometry says those are the nodes a
+          future climb for that object funnels through *)
+  b1_rows : int array;
+  b2_cnt : int array;
+  b2_rows : int array;
 }
 
 val create :
   net:Network.t -> guids:Node_id.t array -> roots:int -> ttl:float ->
   latency:float -> service:float -> requests:int -> mailbox_cap:int ->
-  seed:int -> window:float -> cache:Obj_cache.t option -> t
+  seed:int -> window:float -> cache:Obj_cache.t option -> coop:bool ->
+  hint_k:int -> hint_budget:int -> t
 (** Build the engine: one mailbox arena sized to the network, one
     {!Actor.ctx} per shard with an independent [Parallel.task_rng]
     stream.  [cache] attaches the per-node object caches (fills, evicts
     and epoch bumps buffered per shard are applied at each barrier in
-    shard order, bumps first, then evicts, then fills).
+    shard order, bumps first, then evicts, then fills).  [coop] (with
+    [hint_k]/[hint_budget], see DESIGN.md section 11) adds the
+    barrier-ordered neighbor hint exchange after the intent pass; it is
+    forced off without a cache.
     @raise Invalid_argument if [window <= 0]. *)
 
 val run :

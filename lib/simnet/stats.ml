@@ -165,10 +165,23 @@ module Tally = struct
     mutable fills : int;
     mutable evicts : int;
     mutable recoveries : int;
+    mutable hint_fills : int;
+    mutable hint_hits : int;
   }
 
   let create () =
-    { hits = 0; misses = 0; stale = 0; fills = 0; evicts = 0; recoveries = 0 }
+    { hits = 0; misses = 0; stale = 0; fills = 0; evicts = 0; recoveries = 0;
+      hint_fills = 0; hint_hits = 0 }
+
+  let reset t =
+    t.hits <- 0;
+    t.misses <- 0;
+    t.stale <- 0;
+    t.fills <- 0;
+    t.evicts <- 0;
+    t.recoveries <- 0;
+    t.hint_fills <- 0;
+    t.hint_hits <- 0
 
   let merge ~into t =
     into.hits <- into.hits + t.hits;
@@ -176,7 +189,9 @@ module Tally = struct
     into.stale <- into.stale + t.stale;
     into.fills <- into.fills + t.fills;
     into.evicts <- into.evicts + t.evicts;
-    into.recoveries <- into.recoveries + t.recoveries
+    into.recoveries <- into.recoveries + t.recoveries;
+    into.hint_fills <- into.hint_fills + t.hint_fills;
+    into.hint_hits <- into.hint_hits + t.hint_hits
 
   let lookups t = t.hits + t.misses + t.stale
 

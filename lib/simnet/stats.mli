@@ -67,9 +67,19 @@ module Tally : sig
         (** entries removed by invalidation (not capacity replacement) *)
     mutable recoveries : int;
         (** requests that survived a stale redirect by re-climbing *)
+    mutable hint_fills : int;
+        (** entries written by cooperative hint exchange (PR 10), a
+            subset of {!field-fills} accounting, kept separate so
+            [--coop off] signatures stay byte-identical to PR 9 *)
+    mutable hint_hits : int;
+        (** hits served from an entry the node imported as a hint
+            rather than learned from its own fetch unwind *)
   }
 
   val create : unit -> t
+
+  val reset : t -> unit
+  (** Zero every counter in place (mesh-reuse replay support). *)
 
   val merge : into:t -> t -> unit
   (** Element-wise addition. *)

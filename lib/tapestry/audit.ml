@@ -349,7 +349,46 @@ let run net =
                            "epoch-current entry names a live server that \
                             does not hold the replica";
                        })
-              end));
+              end);
+          (* Hint-sketch structural invariants (PR 10).  Propagated
+             hints already pass the replica-coherence check above via
+             [iter] — they are ordinary entries once landed; here we
+             certify the sketch itself: an empty way carries no hit
+             count and no hint mark, an occupied way's count is at
+             least 1 (every fill and import starts it there). *)
+          for i = 0 to (c.Obj_cache.nodes * c.Obj_cache.ways) - 1 do
+            let occupied = c.Obj_cache.e_key.(i) >= 0 in
+            let hits = c.Obj_cache.e_hits.(i) in
+            let src = Bytes.get c.Obj_cache.e_src i in
+            let holder =
+              let h = i / c.Obj_cache.ways in
+              if h < net.Network.arena_len then
+                Some (Network.node_of_handle net h).Node.id
+              else None
+            in
+            if (not occupied) && (hits <> 0 || src <> '\000') then
+              add
+                (Cache_incoherent
+                   {
+                     holder;
+                     guid =
+                       (match holder with
+                       | Some id -> id
+                       | None ->
+                           let cfg = net.Network.config in
+                           Node_id.of_int ~base:cfg.Config.base
+                             ~len:cfg.Config.id_digits 0);
+                     reason = "sketch count or hint mark on an empty way";
+                   })
+            else if occupied && hits < 1 then
+              add
+                (Cache_incoherent
+                   {
+                     holder;
+                     guid = Obj_cache.guid_of_key c c.Obj_cache.e_key.(i);
+                     reason = "occupied way with a zero sketch count";
+                   })
+          done);
       (* Space bound: estimated residency within the O(n log n) budget. *)
       let fp = Network.memory_footprint net in
       let budget = footprint_budget net in

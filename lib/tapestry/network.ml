@@ -212,6 +212,11 @@ let clear_soft_state t =
       Pointer_store.clear n.pointers;
       Node_id.Tbl.reset n.replicas);
   t.clock <- 0.;
+  (* an attached cache is soft state too: wipe its lines, frequency
+     sketch, hint marks and pair epochs before detaching, so a caller
+     that re-attaches the same structure (multi-row --cache-size /
+     --coop sweeps on a shared mesh) starts from a clean slate *)
+  (match t.obj_cache with Some c -> Obj_cache.reset c | None -> ());
   t.obj_cache <- None
 
 let core_nodes t =

@@ -23,6 +23,8 @@ type t = {
   mutable e_gen : int array;
   mutable e_epoch : int array;
   mutable e_stamp : int array;
+  mutable e_hits : int array;  (* frequency sketch: per-entry hit count *)
+  mutable e_src : Bytes.t;  (* '\001' = imported hint, '\000' = learned *)
   mutable hand : int array;
   mutable dk : Bytes.t;  (* doorkeeper bits: [ways] bytes per node *)
   mutable dk_fill : int array;  (* per node: fill attempts since reset *)
@@ -31,7 +33,13 @@ type t = {
   mutable keys : int;
   key_tbl : int Node_id.Tbl.t;
   tally : Simnet.Stats.Tally.t;
+  mutable hint_k : int;  (* top-k entries exported per exchange; 0 = coop off *)
+  mutable hint_budget : int;  (* max hints one line accepts per exchange event *)
 }
+
+(* hit counts saturate: the sketch orders entries by warmth, it is not
+   an exact frequency *)
+let hit_cap = 255
 
 (* (key, server-handle) packed into one int: handles stay far below
    2^26 (the 1e6-node scale tier uses 2^20) and keys below 2^36. *)
@@ -51,6 +59,8 @@ let[@alloc_ok] create ~ways ~policy ~nodes =
     e_gen = Array.make (max 1 cells) 0;
     e_epoch = Array.make (max 1 cells) 0;
     e_stamp = Array.make (max 1 cells) 0;
+    e_hits = Array.make (max 1 cells) 0;
+    e_src = Bytes.make (max 1 cells) '\000';
     hand = Array.make (max 1 nodes) 0;
     dk = Bytes.make (max 1 cells) '\000';
     dk_fill = Array.make (max 1 nodes) 0;
@@ -59,7 +69,16 @@ let[@alloc_ok] create ~ways ~policy ~nodes =
     keys = 0;
     key_tbl = Node_id.Tbl.create 256;
     tally = Simnet.Stats.Tally.create ();
+    hint_k = 0;
+    hint_budget = 0;
   }
+
+let set_coop t ~hint_k ~hint_budget =
+  if hint_k < 0 || hint_budget < 0 then invalid_arg "Obj_cache.set_coop";
+  t.hint_k <- hint_k;
+  t.hint_budget <- hint_budget
+
+let coop_on t = t.hint_k > 0
 
 (* [@alloc_ok]: growth doubles, so this runs O(log n) times ever; the
    serve tier only calls it at barriers. *)
@@ -77,6 +96,10 @@ let[@alloc_ok] ensure_nodes t n =
     t.e_gen <- grow_cells t.e_gen 0;
     t.e_epoch <- grow_cells t.e_epoch 0;
     t.e_stamp <- grow_cells t.e_stamp 0;
+    t.e_hits <- grow_cells t.e_hits 0;
+    let src = Bytes.make cells '\000' in
+    Bytes.blit t.e_src 0 src 0 (t.nodes * t.ways);
+    t.e_src <- src;
     let dk = Bytes.make cells '\000' in
     Bytes.blit t.dk 0 dk 0 (t.nodes * t.ways);
     t.dk <- dk;
@@ -147,6 +170,23 @@ let rec scan_empty t ~base w =
   else if t.e_key.(base + w) = -1 then base + w
   else scan_empty t ~base (w + 1)
 
+(* Cheap pre-check for hint offers: a full line cannot accept any hint
+   (imports never displace resident entries), so the caller can skip a
+   whole digest pass with one scan. *)
+let has_empty_way t ~h =
+  h < t.nodes && scan_empty t ~base:(h * t.ways) 0 >= 0
+
+(* Weakest hint-sourced way of a line (lowest sketch count), or -1.
+   Organic fills use it so resident hints can never crowd out local
+   learning: see [insert_snap]. *)
+let rec scan_weak_hint t ~base w bi bh =
+  if w >= t.ways then bi
+  else
+    let i = base + w in
+    if Bytes.unsafe_get t.e_src i = '\001' && (bi < 0 || t.e_hits.(i) < bh)
+    then scan_weak_hint t ~base (w + 1) i t.e_hits.(i)
+    else scan_weak_hint t ~base (w + 1) bi bh
+
 let probe t ~h ~key =
   if h >= t.nodes then -1
   else begin
@@ -154,11 +194,15 @@ let probe t ~h ~key =
     if i < 0 then -1
     else if t.e_epoch.(i) = epoch_of t ~key ~srv:t.e_srv.(i) then begin
       touch t i;
+      let hv = t.e_hits.(i) in
+      if hv < hit_cap then t.e_hits.(i) <- hv + 1;
       i
     end
     else begin
       (* epoch-stale: self-evict so the way frees up immediately *)
       t.e_key.(i) <- -1;
+      t.e_hits.(i) <- 0;
+      Bytes.unsafe_set t.e_src i '\000';
       -2
     end
   end
@@ -166,6 +210,39 @@ let probe t ~h ~key =
 let probe_srv t i = t.e_srv.(i)
 
 let probe_gen t i = t.e_gen.(i)
+
+let probe_epoch t i = t.e_epoch.(i)
+
+let probe_is_hint t i = Bytes.unsafe_get t.e_src i = '\001'
+let probe_key t i = t.e_key.(i)
+let holds t ~h ~key = h < t.nodes && scan_key t ~base:(h * t.ways) ~key 0 >= 0
+
+(* First never-hit hint way of node [h]'s line (imported at [hits = 1]
+   and not probe-hit since), or -1.  The barrier's digit-bucket offers
+   use it when the line is full: a hint nobody asked for in a whole
+   window is the one entry gossip may recycle for a row the bucket
+   knows is hot at this aggregation point. *)
+let rec scan_idle_hint t ~base w =
+  if w >= t.ways then -1
+  else
+    let i = base + w in
+    if Bytes.unsafe_get t.e_src i = '\001' && t.e_hits.(i) <= 1 then i
+    else scan_idle_hint t ~base (w + 1)
+
+let idle_hint_way t ~h =
+  if h >= t.nodes then -1 else scan_idle_hint t ~base:(h * t.ways) 0
+
+(* Overwrite way [i] with a hint entry: the bucket-offer replacement
+   path (see [idle_hint_way]).  The caller has already checked the
+   line does not hold [key] and that way [i] is a recyclable hint. *)
+let set_hint_at t i ~key ~server ~gen ~epoch =
+  t.e_key.(i) <- key;
+  t.e_srv.(i) <- server;
+  t.e_gen.(i) <- gen;
+  t.e_epoch.(i) <- epoch;
+  t.e_hits.(i) <- 1;
+  Bytes.unsafe_set t.e_src i '\001';
+  touch t i
 
 (* Deterministic way hash for the 2-random policy: a multiplicative mix
    of the node handle and its draw counter.  No ambient randomness —
@@ -239,11 +316,28 @@ let insert_snap t ~h ~key ~server ~gen ~epoch =
       else begin
         let e = scan_empty t ~base 0 in
         if e >= 0 then e
-        else if dk_admit t ~h ~key then victim_way t h
-        else -1
+        else begin
+          (* resident hints never block local learning: a full line
+             replaces its weakest hint before consulting the
+             doorkeeper (dropping a hint evicts nothing the node
+             earned, so no admission gate applies).  Without this, a
+             hint-padded line makes organic fills pay the first-touch
+             decline PR 9 never charged them, and coop-on loses
+             organic hits it should only ever add to. *)
+          let hw =
+            if coop_on t then scan_weak_hint t ~base 0 (-1) 0 else -1
+          in
+          if hw >= 0 then hw
+          else if dk_admit t ~h ~key then victim_way t h
+          else -1
+        end
       end
     in
     if i >= 0 then begin
+      (* a learned fill of a new key (re)starts the sketch at 1 and
+         clears any hint mark; a refresh keeps the accumulated count *)
+      if t.e_key.(i) <> key then t.e_hits.(i) <- 1;
+      Bytes.unsafe_set t.e_src i '\000';
       t.e_key.(i) <- key;
       t.e_srv.(i) <- server;
       t.e_gen.(i) <- gen;
@@ -255,16 +349,110 @@ let insert_snap t ~h ~key ~server ~gen ~epoch =
 let insert t ~h ~key ~server ~gen =
   insert_snap t ~h ~key ~server ~gen ~epoch:(epoch_of t ~key ~srv:server)
 
-let evict_at t i = t.e_key.(i) <- -1
+(* Hint import: never clobbers an entry the node already holds for the
+   key (the node's own learning wins), otherwise fills like
+   [insert_snap] — empty way first, then doorkeeper-gated eviction —
+   marking the entry hint-sourced.  Returns whether the hint landed. *)
+let import_hint t ~h ~key ~server ~gen ~epoch =
+  if h >= t.nodes then false
+  else begin
+    let base = h * t.ways in
+    if scan_key t ~base ~key 0 >= 0 then false
+    else begin
+      (* a hint may only occupy an empty way — never an entry the node
+         earned by fetching, and never another hint.  Imported warmth
+         displacing local learning trades organic hits for hinted ones
+         instead of adding to them, and hint-for-hint replacement makes
+         cold hints cycle endlessly as digests rotate between windows.
+         Spare ways sit exactly where hints are worth the most: the
+         client-edge path nodes the unwind rarely reaches. *)
+      let i = scan_empty t ~base 0 in
+      if i < 0 then false
+      else begin
+        t.e_key.(i) <- key;
+        t.e_srv.(i) <- server;
+        t.e_gen.(i) <- gen;
+        t.e_epoch.(i) <- epoch;
+        t.e_hits.(i) <- 1;
+        Bytes.unsafe_set t.e_src i '\001';
+        touch t i;
+        true
+      end
+    end
+  end
+
+(* Top-k hottest epoch-current entries of node [h]'s line, hottest
+   first.  Selection is k max-scans over the line with exported entries
+   marked by negating their hit count; the unmark pass halves the count
+   so an entry's recorded warmth decays as it is re-exported and must be
+   re-earned by fresh local hits.  One-hit entries (hits < 2) are never
+   exported: a hint should certify repeated demand, not a single touch.
+   Allocation-free: the max-scan threads its state through tail-call
+   arguments instead of ref cells. *)
+let rec hottest_way t ~base w bi bh =
+  if w >= t.ways then bi
+  else begin
+    let i = base + w in
+    let hv = t.e_hits.(i) in
+    if
+      hv > bh && t.e_key.(i) >= 0
+      && t.e_epoch.(i) = epoch_of t ~key:t.e_key.(i) ~srv:t.e_srv.(i)
+    then hottest_way t ~base (w + 1) i hv
+    else hottest_way t ~base (w + 1) bi bh
+  end
+
+let rec export_loop t ~base ~f left =
+  if left > 0 then begin
+    let i = hottest_way t ~base 0 (-1) 1 in
+    if i >= 0 then begin
+      f ~key:t.e_key.(i) ~server:t.e_srv.(i) ~gen:t.e_gen.(i)
+        ~epoch:t.e_epoch.(i);
+      t.e_hits.(i) <- -t.e_hits.(i);
+      export_loop t ~base ~f (left - 1)
+    end
+  end
+
+let export_hints t ~h ~k ~f =
+  if h < t.nodes && k > 0 then begin
+    let base = h * t.ways in
+    export_loop t ~base ~f k;
+    for w = 0 to t.ways - 1 do
+      let i = base + w in
+      if t.e_hits.(i) < 0 then t.e_hits.(i) <- max 1 (-t.e_hits.(i) / 2)
+    done
+  end
+
+let evict_at t i =
+  t.e_key.(i) <- -1;
+  t.e_hits.(i) <- 0;
+  Bytes.unsafe_set t.e_src i '\000'
 
 let evict t ~h ~key ~server =
   if h < t.nodes then begin
     let base = h * t.ways in
     for w = 0 to t.ways - 1 do
       if t.e_key.(base + w) = key && t.e_srv.(base + w) = server then
-        t.e_key.(base + w) <- -1
+        evict_at t (base + w)
     done
   end
+
+(* [@alloc_ok]: mesh-reuse replay support, called between runs.  Clears
+   every soft entry — lines, sketch, hint marks, doorkeeper, clock
+   hands, pair epochs, tally — but keeps the GUID interning (a pure
+   identity assignment) and the coop configuration. *)
+let[@alloc_ok] reset t =
+  Array.fill t.e_key 0 (Array.length t.e_key) (-1);
+  Array.fill t.e_srv 0 (Array.length t.e_srv) 0;
+  Array.fill t.e_gen 0 (Array.length t.e_gen) 0;
+  Array.fill t.e_epoch 0 (Array.length t.e_epoch) 0;
+  Array.fill t.e_stamp 0 (Array.length t.e_stamp) 0;
+  Array.fill t.e_hits 0 (Array.length t.e_hits) 0;
+  Bytes.fill t.e_src 0 (Bytes.length t.e_src) '\000';
+  Array.fill t.hand 0 (Array.length t.hand) 0;
+  Bytes.fill t.dk 0 (Bytes.length t.dk) '\000';
+  Array.fill t.dk_fill 0 (Array.length t.dk_fill) 0;
+  Hashtbl.reset t.ep_tbl;
+  Simnet.Stats.Tally.reset t.tally
 
 let rec count_filled t i acc =
   if i >= t.nodes * t.ways then acc
@@ -285,6 +473,7 @@ let[@alloc_ok] approx_bytes t =
   let word = 8 in
   let arr a = (Array.length a + 1) * word in
   arr t.e_key + arr t.e_srv + arr t.e_gen + arr t.e_epoch + arr t.e_stamp
+  + arr t.e_hits + Bytes.length t.e_src
   + arr t.hand + arr t.dk_fill + Bytes.length t.dk + word
   + (Array.length t.guid_of + 1) * word
   + (Hashtbl.length t.ep_tbl * 4 * word) (* pair-epoch table, rough *)

@@ -59,6 +59,12 @@ type t = private {
   mutable e_gen : int array;  (** server mailbox generation at fill (0 sync) *)
   mutable e_epoch : int array;  (** object epoch snapshot at fill *)
   mutable e_stamp : int array;  (** clock ref bit / LRU tick *)
+  mutable e_hits : int array;
+      (** frequency sketch: saturating per-entry hit count (PR 10);
+          orders a line's entries by warmth for {!export_hints} *)
+  mutable e_src : Bytes.t;
+      (** ['\001'] = entry arrived as a cooperative hint, ['\000'] =
+          learned from the node's own fetch unwind *)
   mutable hand : int array;
       (** per node: clock hand position, or the LRU tick counter *)
   mutable dk : Bytes.t;
@@ -75,10 +81,26 @@ type t = private {
   mutable keys : int;  (** number of interned keys *)
   key_tbl : int Node_id.Tbl.t;
   tally : Simnet.Stats.Tally.t;  (** sync-path accounting only *)
+  mutable hint_k : int;
+      (** cooperative caching: top-k hottest entries exported per
+          exchange event; 0 (the default) disables cooperation *)
+  mutable hint_budget : int;
+      (** max hints a single line accepts from one exchange event
+          (publish hop, fetch unwind, or barrier digest) *)
 }
 
 val create : ways:int -> policy:policy -> nodes:int -> t
-(** @raise Invalid_argument if [ways <= 0] or [nodes < 0]. *)
+(** @raise Invalid_argument if [ways <= 0] or [nodes < 0].  Created
+    with cooperation off ([hint_k = 0]); see {!set_coop}. *)
+
+val set_coop : t -> hint_k:int -> hint_budget:int -> unit
+(** Configure cooperative hint exchange (the record is private, so
+    this is the only way to flip it).  [hint_k = 0] turns every
+    cooperative path off, reproducing PR 9 behavior exactly.
+    @raise Invalid_argument on negative arguments. *)
+
+val coop_on : t -> bool
+(** [hint_k > 0]. *)
 
 val ensure_nodes : t -> int -> unit
 (** Grow the per-node lines to cover handles [< n] (amortized doubling;
@@ -116,6 +138,34 @@ val probe_srv : t -> int -> int
 val probe_gen : t -> int -> int
 (** Fill-time server generation of entry [i]. *)
 
+val probe_epoch : t -> int -> int
+(** Epoch snapshot of entry [i] (a [probe] result [>= 0]) — what the
+    serve digest forwards, so a hint is never fresher than the hit it
+    was distilled from. *)
+
+val probe_is_hint : t -> int -> bool
+(** Whether entry [i] arrived via {!import_hint} rather than a learned
+    fill (drives the [hint_hits] counter). *)
+
+val probe_key : t -> int -> int
+(** Object key of entry [i] ([-1] for an empty way). *)
+
+val holds : t -> h:int -> key:int -> bool
+(** Whether node [h]'s line holds [key] in any way (no touch, no
+    epoch check — a pure membership scan for the offer paths). *)
+
+val idle_hint_way : t -> h:int -> int
+(** First hint-sourced way of node [h]'s line that has never been
+    probe-hit since it was imported (sketch count still 1), or [-1].
+    The digit-bucket offer path may recycle exactly this entry when
+    the line has no empty way: see {!set_hint_at}. *)
+
+val set_hint_at : t -> int -> key:int -> server:int -> gen:int -> epoch:int -> unit
+(** Overwrite way [i] with a hint entry (cold sketch count, marked
+    hint-sourced).  Only the bucket-offer replacement path calls this,
+    with [i] from {!idle_hint_way} and after checking {!holds} is
+    [false] for the key — resident organic entries are never touched. *)
+
 val insert : t -> h:int -> key:int -> server:int -> gen:int -> unit
 (** Fill (or refresh) node [h]'s line with [key -> server], snapshotting
     the pair's current epoch; evicts per {!policy} when the line is
@@ -132,12 +182,48 @@ val insert_snap :
     unpublish in the same window lands already-stale instead of masking
     the bump. *)
 
+val has_empty_way : t -> h:int -> bool
+(** Whether node [h]'s line has a free way.  {!import_hint} only ever
+    fills empty ways, so a [false] here lets a caller skip a whole
+    digest of offers with a single scan. *)
+
+val import_hint :
+  t -> h:int -> key:int -> server:int -> gen:int -> epoch:int -> bool
+(** Offer node [h] a cooperative hint [key -> server] with the
+    exporter's generation/epoch snapshot.  Declined (returns [false])
+    when the line already holds the key in any way — the node's own
+    learning always wins — or when no way is empty: a hint never
+    displaces a resident entry (organic or hint), so cooperation adds
+    to local learning instead of trading against it.  A landed hint is
+    marked hint-sourced and starts with a cold sketch count, so it must
+    earn local hits before the node re-exports it.  Deterministic and
+    allocation-free. *)
+
+val export_hints :
+  t ->
+  h:int ->
+  k:int ->
+  f:(key:int -> server:int -> gen:int -> epoch:int -> unit) ->
+  unit
+(** Visit the top-[k] hottest epoch-current entries of node [h]'s line,
+    hottest first.  Entries with fewer than 2 recorded hits are never
+    exported (a hint certifies repeated demand), and each export halves
+    the entry's sketch count so propagated warmth decays unless renewed
+    by fresh local hits.  Deterministic and allocation-free. *)
+
 val evict_at : t -> int -> unit
 (** Clear entry [i] (a [probe] result). *)
 
 val evict : t -> h:int -> key:int -> server:int -> unit
 (** Clear node [h]'s entry for [key], but only if it still names
     [server] — a later fill for a different server is left alone. *)
+
+val reset : t -> unit
+(** Clear all soft state — lines, sketch, hint marks, doorkeeper,
+    replacement state, pair epochs, and the sync tally — keeping the
+    GUID interning and coop configuration.  Called by
+    [Network.clear_soft_state] so multi-row sweeps replayed on a shared
+    mesh stay independent. *)
 
 val entries : t -> int
 (** Occupied ways, O(nodes*ways) — diagnostics only. *)

@@ -142,6 +142,106 @@ let test_pair_epoch_staleness () =
   Alcotest.(check bool) "refill current again" true
     (Obj_cache.probe c ~h:0 ~key:5 >= 0)
 
+(* ---- cooperative hint sketch (PR 10) ---- *)
+
+let test_hint_export_import () =
+  let c = mk ~ways:4 ~nodes:4 () in
+  Obj_cache.set_coop c ~hint_k:4 ~hint_budget:4;
+  Alcotest.(check bool) "coop on" true (Obj_cache.coop_on c);
+  Obj_cache.insert c ~h:0 ~key:1 ~server:11 ~gen:0;
+  Obj_cache.insert c ~h:0 ~key:2 ~server:12 ~gen:0;
+  Obj_cache.insert c ~h:0 ~key:3 ~server:13 ~gen:0;
+  (* key 1 earns two extra hits, key 2 one, key 3 none: export must
+     visit hottest-first and never export a one-touch entry *)
+  ignore (Obj_cache.probe c ~h:0 ~key:1 : int);
+  ignore (Obj_cache.probe c ~h:0 ~key:1 : int);
+  ignore (Obj_cache.probe c ~h:0 ~key:2 : int);
+  let order = ref [] in
+  Obj_cache.export_hints c ~h:0 ~k:4
+    ~f:(fun ~key ~server:_ ~gen:_ ~epoch:_ -> order := key :: !order);
+  Alcotest.(check (list int)) "hottest first, one-touch entries withheld"
+    [ 1; 2 ]
+    (List.rev !order);
+  (* export halves the recorded warmth: a second export finds nothing
+     until fresh local hits re-earn it *)
+  let again = ref 0 in
+  Obj_cache.export_hints c ~h:0 ~k:4
+    ~f:(fun ~key:_ ~server:_ ~gen:_ ~epoch:_ -> incr again);
+  Alcotest.(check int) "propagated warmth decays" 0 !again;
+  ignore (Obj_cache.probe c ~h:0 ~key:1 : int);
+  let re = ref 0 in
+  Obj_cache.export_hints c ~h:0 ~k:4
+    ~f:(fun ~key:_ ~server:_ ~gen:_ ~epoch:_ -> incr re);
+  Alcotest.(check int) "fresh hits re-earn exportability" 1 !re;
+  (* import into another node: lands cold, hint-marked, serves hits *)
+  let epoch = Obj_cache.epoch_of c ~key:1 ~srv:11 in
+  Alcotest.(check bool) "import lands in an empty way" true
+    (Obj_cache.import_hint c ~h:1 ~key:1 ~server:11 ~gen:0 ~epoch);
+  let i = Obj_cache.probe c ~h:1 ~key:1 in
+  Alcotest.(check bool) "hint probes as a hit" true (i >= 0);
+  Alcotest.(check bool) "entry is hint-sourced" true
+    (Obj_cache.probe_is_hint c i);
+  Alcotest.(check int) "hint names the exporter's server" 11
+    (Obj_cache.probe_srv c i);
+  Alcotest.(check bool) "own learning wins: held key declines re-import"
+    false
+    (Obj_cache.import_hint c ~h:1 ~key:1 ~server:99 ~gen:0 ~epoch)
+
+let test_hint_import_never_displaces () =
+  let c = mk ~ways:2 ~nodes:2 () in
+  Obj_cache.set_coop c ~hint_k:2 ~hint_budget:2;
+  Obj_cache.insert c ~h:0 ~key:1 ~server:1 ~gen:0;
+  Obj_cache.insert c ~h:0 ~key:2 ~server:2 ~gen:0;
+  let ep3 = Obj_cache.epoch_of c ~key:3 ~srv:3 in
+  Alcotest.(check bool) "full line declines a hint" false
+    (Obj_cache.import_hint c ~h:0 ~key:3 ~server:3 ~gen:0 ~epoch:ep3);
+  Alcotest.(check bool) "residents untouched" true
+    (Obj_cache.probe c ~h:0 ~key:1 >= 0 && Obj_cache.probe c ~h:0 ~key:2 >= 0);
+  (* an epoch-stale probe frees the way, and then the hint can land *)
+  Obj_cache.bump_epoch c ~key:1 ~srv:1;
+  Alcotest.(check int) "stale probe self-evicts" (-2)
+    (Obj_cache.probe c ~h:0 ~key:1);
+  Alcotest.(check bool) "freed way accepts the hint" true
+    (Obj_cache.import_hint c ~h:0 ~key:3 ~server:3 ~gen:0 ~epoch:ep3)
+
+let test_hint_staleness_self_evicts () =
+  let c = mk ~ways:2 ~nodes:2 () in
+  Obj_cache.set_coop c ~hint_k:2 ~hint_budget:2;
+  let ep = Obj_cache.epoch_of c ~key:7 ~srv:4 in
+  Alcotest.(check bool) "hint lands" true
+    (Obj_cache.import_hint c ~h:1 ~key:7 ~server:4 ~gen:0 ~epoch:ep);
+  (* the retraction machinery is shared with organic entries: an epoch
+     bump stales the hint, the next probe self-evicts it *)
+  Obj_cache.bump_epoch c ~key:7 ~srv:4;
+  Alcotest.(check int) "stale hint-hit self-evicts" (-2)
+    (Obj_cache.probe c ~h:1 ~key:7);
+  Alcotest.(check int) "way is free again" (-1)
+    (Obj_cache.probe c ~h:1 ~key:7)
+
+let test_reset_clears_soft_state () =
+  let c = mk ~ways:2 ~nodes:2 () in
+  let net = build ~n:8 () in
+  Obj_cache.set_coop c ~hint_k:2 ~hint_budget:2;
+  let g = random_guid net in
+  let key = Obj_cache.intern c g in
+  Obj_cache.insert c ~h:0 ~key ~server:1 ~gen:0;
+  ignore (Obj_cache.probe c ~h:0 ~key : int);
+  ignore
+    (Obj_cache.import_hint c ~h:1 ~key:5 ~server:2 ~gen:0
+       ~epoch:(Obj_cache.epoch_of c ~key:5 ~srv:2)
+      : bool);
+  Obj_cache.bump_epoch c ~key ~srv:9;
+  Obj_cache.reset c;
+  Alcotest.(check int) "no entries survive reset" 0 (Obj_cache.entries c);
+  Alcotest.(check int) "probe misses" (-1) (Obj_cache.probe c ~h:0 ~key);
+  Alcotest.(check int) "hint gone" (-1) (Obj_cache.probe c ~h:1 ~key:5);
+  Alcotest.(check int) "tally cleared" 0
+    (Simnet.Stats.Tally.lookups c.Obj_cache.tally);
+  Alcotest.(check int) "pair epochs cleared" 0
+    (Obj_cache.epoch_of c ~key ~srv:9);
+  Alcotest.(check bool) "coop config survives" true (Obj_cache.coop_on c);
+  Alcotest.(check int) "interning survives" key (Obj_cache.find_key c g)
+
 (* ---- synchronous locate path ---- *)
 
 let attach_cache ?(ways = 4) net =
@@ -209,6 +309,91 @@ let test_sync_partial_unpublish () =
   let report = Audit.run net in
   if not (Audit.is_clean report) then
     Alcotest.failf "post-unpublish mesh not audit-clean: %s"
+      (Format.asprintf "%a" Audit.pp_report report)
+
+(* Hints must travel on existing traffic: publishes and republishes
+   export each hop's hottest entries to the next hop.  Warm a mesh with
+   locate traffic over many objects, republish everything, and some
+   node must now hold — and later serve — an entry it never fetched. *)
+let test_sync_hint_propagation () =
+  let net = build ~n:150 ~seed:31 () in
+  let c = attach_cache ~ways:8 net in
+  Obj_cache.set_coop c ~hint_k:4 ~hint_budget:4;
+  let objects =
+    List.init 12 (fun _ ->
+        let server = Network.random_alive net in
+        let guid = random_guid net in
+        ignore (Publish.publish net ~server guid : Publish.outcome);
+        guid)
+  in
+  (* warm: repeated locates from many clients earn export-worthy hit
+     counts along the climb paths *)
+  for _ = 1 to 3 do
+    List.iter
+      (fun guid ->
+        for _ = 1 to 6 do
+          let client = Network.random_alive net in
+          ignore (Locate.locate net ~client guid : Locate.result)
+        done)
+      objects
+  done;
+  let tl = c.Obj_cache.tally in
+  Alcotest.(check int) "no hints before any republish" 0
+    tl.Simnet.Stats.Tally.hint_fills;
+  ignore (Maintenance.republish_all net : int);
+  Alcotest.(check bool) "republish traffic carried hints" true
+    (tl.Simnet.Stats.Tally.hint_fills > 0);
+  (* and the landed hints actually answer queries *)
+  for _ = 1 to 3 do
+    List.iter
+      (fun guid ->
+        for _ = 1 to 6 do
+          let client = Network.random_alive net in
+          match (Locate.locate net ~client guid).Locate.server with
+          | None -> Alcotest.fail "locate lost a published object"
+          | Some _ -> ()
+        done)
+      objects
+  done;
+  Alcotest.(check bool) "a node served a hint it never fetched" true
+    (tl.Simnet.Stats.Tally.hint_hits > 0);
+  let report = Audit.run net in
+  if not (Audit.is_clean report) then
+    Alcotest.failf "hinted mesh not audit-clean: %s"
+      (Format.asprintf "%a" Audit.pp_report report)
+
+(* Unpublish must retract propagated hints everywhere at once: the
+   epoch bump stales every copy, a later hint-hit self-evicts and the
+   climb resumes — no client may be answered with the retracted
+   replica. *)
+let test_sync_hint_staleness () =
+  let net = build ~n:150 ~seed:23 () in
+  let c = attach_cache ~ways:8 net in
+  Obj_cache.set_coop c ~hint_k:4 ~hint_budget:4;
+  let s1 = Network.random_alive net in
+  let s2 = Network.random_alive net in
+  if Node_id.equal s1.Node.id s2.Node.id then
+    Alcotest.fail "test needs two distinct servers (reseed)";
+  let guid = random_guid net in
+  ignore (Publish.publish net ~server:s1 guid : Publish.outcome);
+  ignore (Publish.publish net ~server:s2 guid : Publish.outcome);
+  for _ = 1 to 20 do
+    let client = Network.random_alive net in
+    ignore (Locate.locate net ~client guid : Locate.result)
+  done;
+  ignore (Maintenance.republish_all net : int);
+  Publish.unpublish net ~server:s1 guid;
+  for _ = 1 to 30 do
+    let client = Network.random_alive net in
+    match (Locate.locate net ~client guid).Locate.server with
+    | None -> Alcotest.fail "locate lost the surviving replica"
+    | Some s ->
+        Alcotest.(check bool) "never answers the retracted replica" true
+          (Node_id.equal s.Node.id s2.Node.id)
+  done;
+  let report = Audit.run net in
+  if not (Audit.is_clean report) then
+    Alcotest.failf "post-unpublish hinted mesh not audit-clean: %s"
       (Format.asprintf "%a" Audit.pp_report report)
 
 let test_audit_flags_corruption () =
@@ -286,6 +471,28 @@ let test_mesh_reuse_replay () =
   Alcotest.(check string) "soft-state reset replays bit-identically"
     (Driver.signature r1) (Driver.signature r2)
 
+let test_mesh_reuse_replay_coop () =
+  (* the replay guarantee must survive cooperation: leftover sketch
+     counts, hint marks or digest state from row one would perturb row
+     two's exchange and change its signature *)
+  let params = { cached_params with Driver.coop = true } in
+  let net = build_streamed 256 42 in
+  let snap = Rng.copy net.Network.rng in
+  let r1 = Driver.run ~net params ~now:(fake_clock ()) in
+  Network.clear_soft_state net;
+  net.Network.rng <- Rng.copy snap;
+  let r2 = Driver.run ~net params ~now:(fake_clock ()) in
+  Alcotest.(check string) "cooperative rows replay bit-identically"
+    (Driver.signature r1) (Driver.signature r2);
+  (* and a cooperative row must not leak into a later plain-cache row *)
+  Network.clear_soft_state net;
+  net.Network.rng <- Rng.copy snap;
+  let r3 = Driver.run ~net cached_params ~now:(fake_clock ()) in
+  let net2 = build_streamed 256 42 in
+  let r4 = Driver.run ~net:net2 cached_params ~now:(fake_clock ()) in
+  Alcotest.(check string) "coop row leaves no residue for the next row"
+    (Driver.signature r4) (Driver.signature r3)
+
 let () =
   Alcotest.run "cache"
     [
@@ -304,6 +511,18 @@ let () =
           Alcotest.test_case "epochs invalidate per (object, server) pair"
             `Quick test_pair_epoch_staleness;
         ] );
+      ( "hints",
+        [
+          Alcotest.test_case
+            "export is hottest-first, thresholded, and decays" `Quick
+            test_hint_export_import;
+          Alcotest.test_case "imports never displace resident entries"
+            `Quick test_hint_import_never_displaces;
+          Alcotest.test_case "stale hint-hit self-evicts" `Quick
+            test_hint_staleness_self_evicts;
+          Alcotest.test_case "reset clears sketch, keeps interning + config"
+            `Quick test_reset_clears_soft_state;
+        ] );
       ( "sync",
         [
           Alcotest.test_case "warm hits shorten locates, same answers"
@@ -311,6 +530,10 @@ let () =
           Alcotest.test_case
             "partial unpublish keeps surviving-replica shortcuts" `Quick
             test_sync_partial_unpublish;
+          Alcotest.test_case "republish traffic propagates serving hints"
+            `Quick test_sync_hint_propagation;
+          Alcotest.test_case "unpublish retracts propagated hints" `Quick
+            test_sync_hint_staleness;
           Alcotest.test_case "audit flags a corrupt entry" `Quick
             test_audit_flags_corruption;
         ] );
@@ -320,5 +543,7 @@ let () =
             `Quick test_driver_cache_counters;
           Alcotest.test_case "mesh reuse replays bit-identically" `Quick
             test_mesh_reuse_replay;
+          Alcotest.test_case "cooperative rows replay bit-identically"
+            `Quick test_mesh_reuse_replay_coop;
         ] );
     ]

@@ -302,6 +302,104 @@ let test_serve_cache_churn_audit_clean () =
       "churned cache-on serve mesh not audit-clean (incl. coherence): %s"
       (Format.asprintf "%a" Audit.pp_report report)
 
+(* ---- serve engine + cooperative hint exchange (PR 10) ---- *)
+
+let coop_params = { cached_params with Driver.coop = true }
+
+let test_serve_coop_determinism () =
+  (* hint logging is shard-confined (digests, deduped wants) and hint
+     application is barrier-sequential in shard order, so cooperative
+     signatures must stay domain-invariant — also under churn *)
+  let _, r1 = run_serve ~params:coop_params ~domains:1 () in
+  let _, r4 = run_serve ~params:coop_params ~domains:4 () in
+  Alcotest.(check string) "coop run domain-invariant" (Driver.signature r1)
+    (Driver.signature r4);
+  let churned =
+    { coop_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let _, c1 = run_serve ~params:churned ~domains:1 () in
+  let _, c5 = run_serve ~params:churned ~domains:5 () in
+  Alcotest.(check bool) "churn actually fired" true (c1.Driver.kills > 0);
+  Alcotest.(check string) "churned coop run domain-invariant"
+    (Driver.signature c1) (Driver.signature c5)
+
+let test_serve_coop_off_identical () =
+  (* --coop off must reproduce the plain cached engine byte-exactly:
+     same signature regardless of the (inert) hint parameters, and no
+     hint fields in it *)
+  let _, r_cached = run_serve ~params:cached_params ~domains:2 () in
+  let _, r_off =
+    run_serve
+      ~params:{ cached_params with Driver.hint_k = 3; hint_budget = 1 }
+      ~domains:2 ()
+  in
+  Alcotest.(check string) "coop off ignores hint parameters"
+    (Driver.signature r_cached) (Driver.signature r_off);
+  let s = Driver.signature r_cached in
+  let rec has_sub sub i =
+    i + String.length sub <= String.length s
+    && (String.sub s i (String.length sub) = sub || has_sub sub (i + 1))
+  in
+  Alcotest.(check bool) "no hint fields leak into the signature" false
+    (has_sub "hf=" 0);
+  (* sanity: the flag is not dead — coop on diverges *)
+  let _, r_on = run_serve ~params:coop_params ~domains:2 () in
+  Alcotest.(check bool) "coop on actually changes the run" true
+    (Driver.signature r_on <> s)
+
+let test_serve_coop_helps () =
+  let base = { serve_params with Driver.mailbox_cap = 1024 } in
+  let cached = { base with Driver.cache_size = 8 } in
+  let coop = { cached with Driver.coop = true } in
+  let _, r_cached = run_serve ~params:cached ~domains:3 () in
+  let _, r_coop = run_serve ~params:coop ~domains:3 () in
+  let tl = r_coop.Driver.tally in
+  Alcotest.(check bool) "hints travelled" true
+    (tl.Simnet.Stats.Tally.hint_fills > 0);
+  Alcotest.(check bool) "hints served traffic" true
+    (tl.Simnet.Stats.Tally.hint_hits > 0);
+  Alcotest.(check bool) "cooperation never adds failures" true
+    (r_coop.Driver.failed <= r_cached.Driver.failed);
+  Alcotest.(check bool) "cooperation cuts delivered messages" true
+    (r_coop.Driver.delivered <= r_cached.Driver.delivered)
+
+let test_serve_coop_retry_regression () =
+  (* the FETCH-vs-unpublish race recovery retries through the surrogate
+     climb once before a request counts failed; pin the counters so a
+     regression in the retry path is loud.  The workload leans on
+     unpublish to provoke the race *)
+  let params =
+    {
+      coop_params with
+      Driver.requests = 6_000;
+      p_publish = 0.10;
+      p_unpublish = 0.06;
+      mailbox_cap = 1024;
+    }
+  in
+  let _, r_coop = run_serve ~params ~domains:2 () in
+  let _, r_cached =
+    run_serve ~params:{ params with Driver.coop = false } ~domains:2 ()
+  in
+  Alcotest.(check bool) "retry never fails more than the cached engine"
+    true
+    (r_coop.Driver.failed <= r_cached.Driver.failed);
+  Alcotest.(check int) "cached failures pinned" 40 r_cached.Driver.failed;
+  Alcotest.(check int) "cooperative failures pinned" 18 r_coop.Driver.failed
+
+let test_serve_coop_churn_audit_clean () =
+  let params =
+    { coop_params with Driver.kill_rate = 8.; join_rate = 4. }
+  in
+  let net, r = run_serve ~params ~domains:3 () in
+  Alcotest.(check bool) "churn actually fired" true (r.Driver.kills > 0);
+  Serve.Shard.quiesce r.Driver.engine ~clock:(r.Driver.duration_v +. 1.);
+  let report = Audit.run net in
+  if not (Audit.is_clean report) then
+    Alcotest.failf
+      "churned coop serve mesh not audit-clean (incl. hint coherence): %s"
+      (Format.asprintf "%a" Audit.pp_report report)
+
 let () =
   Alcotest.run "serve"
     [
@@ -346,5 +444,19 @@ let () =
           Alcotest.test_case
             "churned cache-on run quiesces audit-clean (incl. coherence)"
             `Quick test_serve_cache_churn_audit_clean;
+        ] );
+      ( "coop",
+        [
+          Alcotest.test_case "coop runs domain-invariant (incl. churn)"
+            `Quick test_serve_coop_determinism;
+          Alcotest.test_case "coop off byte-identical to the cached engine"
+            `Quick test_serve_coop_off_identical;
+          Alcotest.test_case "hints travel, serve traffic, never hurt"
+            `Quick test_serve_coop_helps;
+          Alcotest.test_case "fetch retry failure counts pinned" `Quick
+            test_serve_coop_retry_regression;
+          Alcotest.test_case
+            "churned coop run quiesces audit-clean (incl. hint coherence)"
+            `Quick test_serve_coop_churn_audit_clean;
         ] );
     ]

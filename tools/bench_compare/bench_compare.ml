@@ -32,6 +32,14 @@
    --cache-threshold (default 20%); a cache-only regression exits 5.
    Files predating the cache fields compare exactly as before.
 
+   Cooperative rows (coop = 1) carry " coop" in the point key, so a
+   cached row and a cooperative row of the same shape never alias.
+   Points where BOTH sides ran cooperatively are further gated on
+   delivered_per_request and cache_hit_rate under the tighter
+   --coop-threshold (default 10%): hint exchange exists to buy those
+   two metrics, so they get less slack than the generic serve gate.  A
+   coop-only regression exits 6.
+
    [--advisory] keeps all reports but always exits 0: the escape hatch
    for noisy shared machines, where a short run's jitter can cross any
    reasonable threshold.  Exit 2 is reserved for configuration errors
@@ -40,8 +48,8 @@
 
 let usage =
   "bench_compare [--threshold PCT] [--scale-threshold PCT] \
-   [--serve-threshold PCT] [--cache-threshold PCT] [--advisory] \
-   BASELINE.json CURRENT.json"
+   [--serve-threshold PCT] [--cache-threshold PCT] [--coop-threshold PCT] \
+   [--advisory] BASELINE.json CURRENT.json"
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -168,6 +176,14 @@ let serve_points j =
                      Printf.sprintf " cache=%d" (int_of_float cache)
                    else "")
               in
+              (* cooperative rows get their own key: a cached and a
+                 cooperative run of the same shape are different
+                 experiments and must never alias *)
+              let key =
+                if Option.value (get "coop") ~default:0. > 0. then
+                  key ^ " coop"
+                else key
+              in
               Some (key, p)
           | None -> None)
         pts
@@ -194,11 +210,22 @@ let serve_reported =
    config difference, not a regression *)
 let cache_gated = [ ("cache_hit_rate", `Lower_worse) ]
 
-let compare_serve ~threshold ~cache_threshold base cur =
+(* cooperative rows gate the two metrics hint exchange exists to buy,
+   under the tighter --coop-threshold; applies only when both sides ran
+   with coop = 1 *)
+let coop_gated =
+  [
+    ("delivered_per_request", `Higher_worse);
+    ("cache_hit_rate", `Lower_worse);
+  ]
+
+let compare_serve ~threshold ~cache_threshold ~coop_threshold base cur =
   let bpts = serve_points base and cpts = serve_points cur in
-  if bpts = [] || cpts = [] then (0, 0)
+  if bpts = [] || cpts = [] then (0, 0, 0)
   else begin
-    let regressed = ref 0 and cache_regressed = ref 0 in
+    let regressed = ref 0
+    and cache_regressed = ref 0
+    and coop_regressed = ref 0 in
     Printf.printf "\n%-38s %-22s %12s %12s %8s\n" "serve point" "metric"
       "baseline" "current" "ratio";
     List.iter
@@ -211,6 +238,10 @@ let compare_serve ~threshold ~cache_threshold base cur =
             let both_cached =
               Option.value (get bp "cache_size") ~default:0. > 0.
               && Option.value (get cp "cache_size") ~default:0. > 0.
+            in
+            let both_coop =
+              Option.value (get bp "coop") ~default:0. > 0.
+              && Option.value (get cp "coop") ~default:0. > 0.
             in
             let row (field, dir) ~gate ~threshold ~counter =
               match (get bp field, get cp field) with
@@ -250,9 +281,15 @@ let compare_serve ~threshold ~cache_threshold base cur =
                 (fun (field, dir) ->
                   row (field, dir) ~gate:true ~threshold:cache_threshold
                     ~counter:cache_regressed)
-                cache_gated)
+                cache_gated;
+            if both_coop then
+              List.iter
+                (fun (field, dir) ->
+                  row (field, dir) ~gate:true ~threshold:coop_threshold
+                    ~counter:coop_regressed)
+                coop_gated)
       bpts;
-    (!regressed, !cache_regressed)
+    (!regressed, !cache_regressed, !coop_regressed)
   end
 
 let () =
@@ -260,6 +297,7 @@ let () =
   let serve_threshold = ref 20.0 in
   let scale_threshold = ref 15.0 in
   let cache_threshold = ref 20.0 in
+  let coop_threshold = ref 10.0 in
   let advisory = ref false in
   let files = ref [] in
   let rec parse_args = function
@@ -283,6 +321,11 @@ let () =
         (match float_of_string_opt v with
         | Some t when t >= 0. -> cache_threshold := t
         | _ -> fail "bench_compare: bad cache threshold %S" v);
+        parse_args rest
+    | "--coop-threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> coop_threshold := t
+        | _ -> fail "bench_compare: bad coop threshold %S" v);
         parse_args rest
     | "--advisory" :: rest ->
         advisory := true;
@@ -342,9 +385,10 @@ let () =
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 3
   end;
-  let serve_regressed, serve_cache_regressed =
+  let serve_regressed, serve_cache_regressed, serve_coop_regressed =
     compare_serve ~threshold:!serve_threshold
-      ~cache_threshold:!cache_threshold base_doc cur_doc
+      ~cache_threshold:!cache_threshold ~coop_threshold:!coop_threshold
+      base_doc cur_doc
   in
   if serve_regressed > 0 then begin
     Printf.printf "%d serve metric(s) regressed more than %g%% vs %s\n"
@@ -359,4 +403,11 @@ let () =
     if !advisory then
       print_endline "bench_compare: advisory mode, not failing the check"
     else exit 5
+  end;
+  if serve_coop_regressed > 0 then begin
+    Printf.printf "%d cooperative metric(s) regressed more than %g%% vs %s\n"
+      serve_coop_regressed !coop_threshold base_file;
+    if !advisory then
+      print_endline "bench_compare: advisory mode, not failing the check"
+    else exit 6
   end

@@ -7,6 +7,7 @@
 #   10 build        11 tests          12 syntactic lint
 #   13 typed lint   14 bench smoke    15 bench gate
 #   16 scale smoke  17 serve smoke    18 cache smoke
+#   19 coop smoke
 #
 # The bench gate compares a short run against the committed
 # BENCH_baseline.json and fails if any paired op regressed more than
@@ -31,6 +32,12 @@
 # same n=4096 serve with a per-node cache attached and --audit, so the
 # quiesced mesh passes the full invariant audit INCLUDING the cache
 # coherence check, and the JSON must show a positive cache_hit_rate.
+#
+# ./tools/check.sh --coop-smoke runs ONLY the cooperative-cache smoke:
+# the cached n=4096 serve with --coop 1 and --audit, so the quiesced
+# mesh passes the audit INCLUDING the hint-sketch coherence extension,
+# and the JSON must show positive hint_fills (the exchange actually
+# moved hints between nodes, not just compiled).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,15 +45,37 @@ advisory=""
 scale_smoke=0
 serve_smoke=0
 cache_smoke=0
+coop_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --advisory) advisory="--advisory" ;;
     --scale-smoke) scale_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
     --cache-smoke) cache_smoke=1 ;;
-    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke] [--serve-smoke] [--cache-smoke]" >&2; exit 2 ;;
+    --coop-smoke) coop_smoke=1 ;;
+    *) echo "usage: tools/check.sh [--advisory] [--scale-smoke] [--serve-smoke] [--cache-smoke] [--coop-smoke]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$coop_smoke" = 1 ]; then
+  dune build bin/tapestry_sim.exe bench/main.exe || exit 10
+  tmp_coop=$(mktemp /tmp/coop_smoke.XXXXXX.json)
+  trap 'rm -f "$tmp_coop"' EXIT
+  # --audit makes the run itself fail on any invariant violation,
+  # hint-sketch coherence included
+  dune exec bin/tapestry_sim.exe -- serve --size 4096 --requests 100000 \
+    --cache-size 32 --coop 1 --audit --json "$tmp_coop" || exit 19
+  dune exec bench/main.exe -- --check-json "$tmp_coop" || exit 19
+  # hints must actually travel: zero hint_fills means the digest/want
+  # exchange is dead even though nothing crashed
+  hf=$(grep -o '"hint_fills": *[0-9]*' "$tmp_coop" | head -1 | sed 's/.*: *//')
+  if [ "${hf:-0}" -le 0 ]; then
+    echo "check: coop smoke found no hint_fills (got '${hf:-missing}')" >&2
+    exit 19
+  fi
+  echo "check: coop smoke (n=4096 serve, cache=32 coop, audit incl. hint coherence) clean"
+  exit 0
+fi
 
 if [ "$cache_smoke" = 1 ]; then
   dune build bin/tapestry_sim.exe bench/main.exe || exit 10
